@@ -1,0 +1,79 @@
+// Command bandit runs a single MWU learner on a single dataset and traces
+// its convergence: iteration, leader, leader probability, congestion.
+// Useful for understanding the dynamics behind the aggregate tables.
+//
+// Usage:
+//
+//	bandit -dataset random256 -algorithm distributed [-maxiter 10000]
+//	       [-seed 1] [-trace 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bandit"
+	"repro/internal/dataset"
+	"repro/internal/mwu"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "random256", "dataset name (see -list)")
+		list    = flag.Bool("list", false, "list dataset names and exit")
+		alg     = flag.String("algorithm", "standard", "standard | distributed | slate")
+		maxIter = flag.Int("maxiter", 10000, "iteration limit")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		trace   = flag.Int("trace", 0, "print a trace line every N iterations (0 = off)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range dataset.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	ds, err := dataset.Get(*dsName)
+	if err != nil {
+		fatal(err)
+	}
+	r := rng.New(*seed)
+	learner, err := mwu.New(*alg, ds.Size, r.Split())
+	if err != nil {
+		fatal(err)
+	}
+	problem := bandit.NewProblem(ds.Dist)
+
+	fmt.Printf("%s on %s (k=%d, best arm %d with value %.4f)\n",
+		*alg, ds.Name, ds.Size, ds.Dist.Best(), ds.Dist.BestValue())
+	fmt.Printf("agents per iteration: %d\n", learner.Agents())
+
+	cfg := mwu.RunConfig{MaxIter: *maxIter, Workers: 1}
+	if *trace > 0 {
+		every := *trace
+		cfg.OnIteration = func(iter int, l mwu.Learner) bool {
+			if iter%every == 0 {
+				fmt.Printf("  t=%-6d leader=%-6d leaderProb=%.4f congestion(max)=%d\n",
+					iter, l.Leader(), l.LeaderProb(), l.Metrics().MaxCongestion)
+			}
+			return false
+		}
+	}
+	res := mwu.Run(learner, problem, r.Split(), cfg)
+
+	fmt.Printf("converged: %v after %d update cycles\n", res.Converged, res.Iterations)
+	fmt.Printf("choice: arm %d (value %.4f, accuracy %.2f%%)\n",
+		res.Choice, ds.Dist.Value(res.Choice), problem.Accuracy(res.Choice))
+	m := learner.Metrics()
+	fmt.Printf("cost: %d probes, %d CPU-iterations, congestion max %d mean %.1f, memory %d floats/node\n",
+		m.Probes, m.CPUIterations, m.MaxCongestion, m.MeanCongestion(), m.MemoryFloats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bandit:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -tables               # Tables II, III, IV
+//	experiments -table1               # Table I empirical verification
+//	experiments -figures              # Figures 4a and 4b
+//	experiments -costmodel            # Sec. IV-E/F cost model demo
+//	experiments -apr                  # Sec. IV-G APR comparison
+//	experiments -all                  # everything
+//
+// Common options:
+//
+//	-seeds N        replications per cell (paper: 100; default 10)
+//	-maxiter N      update-cycle limit (default 10000)
+//	-datasets a,b   comma-separated dataset subset
+//	-algorithms a,b comma-separated algorithm subset
+//	-scenario name  scenario for -figures (default gzip-2009-09-26)
+//	-trials N       Monte-Carlo trials per figure point (default 300)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// writeFile creates path and applies write, exiting on failure.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func main() {
+	var (
+		tables    = flag.Bool("tables", false, "regenerate Tables II-IV")
+		table1    = flag.Bool("table1", false, "empirically verify Table I")
+		figures   = flag.Bool("figures", false, "regenerate Figures 4a/4b")
+		costmodel = flag.Bool("costmodel", false, "run the Sec. IV-E/F cost model demo")
+		apr       = flag.Bool("apr", false, "run the Sec. IV-G APR comparison")
+		all       = flag.Bool("all", false, "run everything")
+
+		seeds      = flag.Int("seeds", 10, "replications per cell (paper: 100)")
+		maxIter    = flag.Int("maxiter", 10000, "update-cycle limit")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all 20)")
+		algorithms = flag.String("algorithms", "", "comma-separated algorithm subset (default: all 3)")
+		scenarioFl = flag.String("scenario", "gzip-2009-09-26", "scenario for -figures")
+		trials     = flag.Int("trials", 300, "Monte-Carlo trials per figure point")
+		k          = flag.Int("k", 1000, "option count for -costmodel")
+		csvOut     = flag.String("csv", "", "also write -tables cells (or -figures data) as CSV to this file")
+		jsonOut    = flag.String("json", "", "also write -tables cells as JSON to this file")
+		sweep      = flag.String("sweep", "", "parameter sensitivity sweep: eta | gamma | mu | beta (Sec. VI)")
+		corpus     = flag.Int("corpus", 0, "run MWRepair on N randomly generated scenarios (Sec. VI corpus study)")
+	)
+	flag.Parse()
+
+	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
+	}
+
+	if *all || *table1 {
+		rows := experiments.VerifyTableOne([]int{64, 256, 1024, 4096, 16384}, *maxIter, 0x7AB1E1)
+		fmt.Println(experiments.RenderTableOne(rows))
+	}
+	if *all || *tables {
+		spec := experiments.Spec{
+			Algorithms: split(*algorithms),
+			Datasets:   split(*datasets),
+			Seeds:      *seeds,
+			MaxIter:    *maxIter,
+		}
+		cells, err := experiments.Run(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderAllTables(cells, *maxIter))
+		fmt.Println(experiments.RenderCalibration(experiments.CalibrateCostModel(cells)))
+		if *csvOut != "" {
+			writeFile(*csvOut, func(f *os.File) error { return experiments.WriteCSV(f, cells, *maxIter) })
+		}
+		if *jsonOut != "" {
+			writeFile(*jsonOut, func(f *os.File) error { return experiments.WriteJSON(f, cells) })
+		}
+	}
+	if *all || *figures {
+		data := experiments.RunFigures(experiments.FigureSpec{
+			Scenario: *scenarioFl,
+			Trials:   *trials,
+		})
+		fmt.Println(experiments.RenderFigure4a(data))
+		fmt.Println(experiments.RenderFigure4b(data))
+		if *csvOut != "" && !*tables && !*all {
+			writeFile(*csvOut, func(f *os.File) error { return experiments.WriteFigureCSV(f, data) })
+		}
+	}
+	if *all || *costmodel {
+		fmt.Println(experiments.RenderCostModel(*k))
+	}
+	if *all || *apr {
+		sum, err := experiments.RunAPR(experiments.APRSpec{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderAPR(sum))
+	}
+	if *sweep != "" {
+		spec := experiments.SweepSpec{Param: experiments.SweepParam(*sweep), Seeds: *seeds}
+		if *datasets != "" {
+			spec.Dataset = strings.Split(*datasets, ",")[0]
+		}
+		points, err := experiments.RunSweep(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderSweep(spec, points))
+	}
+	if *corpus > 0 {
+		res, err := experiments.RunCorpus(experiments.CorpusSpec{N: *corpus})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderCorpus(res))
+	}
+}

@@ -1,0 +1,145 @@
+// Command mwrepair runs the full MWRepair pipeline end to end on one
+// repair scenario: generate (or load) the defective program and its test
+// suite, precompute the safe-mutation pool (phase 1, embarrassingly
+// parallel), then run the online MWU-guided search for a repair (phase 2)
+// and print the patch.
+//
+// Usage:
+//
+//	mwrepair -scenario gzip-2009-09-26 [-algorithm standard]
+//	         [-maxiter 2000] [-workers 8] [-seed 1]
+//	         [-savepool pool.json] [-loadpool pool.json] [-v]
+//
+// Scenarios are the named registry entries (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mutation"
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		name     = flag.String("scenario", "lighttpd-1806-1807", "registry scenario name")
+		list     = flag.Bool("list", false, "list available scenarios and exit")
+		alg      = flag.String("algorithm", "standard", "MWU realization: standard | distributed | slate")
+		maxIter  = flag.Int("maxiter", 2000, "online phase iteration limit")
+		workers  = flag.Int("workers", 8, "parallel workers for pool build and probes")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		savePool = flag.String("savepool", "", "write the precomputed pool to this file")
+		loadPool = flag.String("loadpool", "", "read a previously saved pool instead of precomputing")
+		verbose  = flag.Bool("v", false, "print the defective program and the repaired program")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range scenario.Registry {
+			fmt.Printf("%-20s options=%-5d blocks=%d\n", p.Name, p.Options, p.Blocks)
+		}
+		return
+	}
+
+	prof, err := scenario.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %s: generating program and test suite...\n", prof.Name)
+	sc := scenario.Generate(prof)
+	fmt.Printf("  program: %d statements, suite: %d positive + %d negative tests\n",
+		sc.Program.Len(), len(sc.Suite.Positive), len(sc.Suite.Negative))
+	if *verbose {
+		fmt.Println("--- defective program ---")
+		fmt.Print(sc.Program.String())
+		fmt.Println("-------------------------")
+	}
+
+	r := rng.New(*seed)
+	var pl *pool.Pool
+	if *loadPool != "" {
+		f, err := os.Open(*loadPool)
+		if err != nil {
+			fatal(err)
+		}
+		pl, err = pool.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("phase 1: loaded pool of %d safe mutations from %s\n", pl.Size(), *loadPool)
+	} else {
+		t0 := time.Now()
+		pl = sc.BuildPool(*workers, r.Split())
+		st := pl.Stats()
+		fmt.Printf("phase 1: precomputed %d safe mutations in %v (%d candidates evaluated, %.0f%% safe)\n",
+			pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate())
+	}
+	if *savePool != "" {
+		f, err := os.Create(*savePool)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pl.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("  pool saved to %s\n", *savePool)
+	}
+
+	t0 := time.Now()
+	res, err := core.RepairWithAlgorithm(*alg, pl, sc.Suite, r.Split(), core.Config{
+		MaxIter: *maxIter,
+		Workers: *workers,
+		MaxX:    prof.Options,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t0).Round(time.Millisecond)
+
+	if !res.Repaired {
+		fmt.Printf("phase 2: NO repair found in %d iterations (%d probes, %d fitness evals, %v)\n",
+			res.Iterations, res.Probes, res.FitnessEvals, elapsed)
+		os.Exit(1)
+	}
+	fmt.Printf("phase 2 (%s MWU): REPAIRED in %d iterations × %d agents (%d probes, %d fitness evals, %v)\n",
+		*alg, res.Iterations, res.Agents, res.Probes, res.FitnessEvals, elapsed)
+	fmt.Printf("  learned composition size x* = %d\n", res.LearnedArm)
+	fmt.Printf("  patch (%d mutations):\n", len(res.Patch))
+	for _, m := range res.Patch {
+		fmt.Printf("    %-16s  %s\n", m.ID(), describeMutation(sc, m))
+	}
+	if *verbose {
+		fmt.Println("--- repaired program ---")
+		fmt.Print(res.Program.String())
+		fmt.Println("------------------------")
+	}
+}
+
+func describeMutation(sc *scenario.Scenario, m mutation.Mutation) string {
+	target := sc.Program.Stmts[m.At].String()
+	switch m.Op {
+	case mutation.Delete:
+		return fmt.Sprintf("delete %q", target)
+	case mutation.Replace:
+		return fmt.Sprintf("replace %q with %q", target, sc.Program.Stmts[m.From].String())
+	case mutation.Insert:
+		return fmt.Sprintf("insert %q after %q", sc.Program.Stmts[m.From].String(), target)
+	case mutation.Swap:
+		return fmt.Sprintf("swap %q and %q", target, sc.Program.Stmts[m.From].String())
+	default:
+		return ""
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mwrepair:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command poolctl manages precomputed safe-mutation pools — the phase-1
+// artifact of MWRepair (Sec. III-C of the paper). Pools are built once per
+// program, amortized across bugs, and updated incrementally when the
+// regression suite grows.
+//
+// Usage:
+//
+//	poolctl -build -scenario units -out units.pool [-target 1100] [-workers 8]
+//	poolctl -inspect -in units.pool
+//	poolctl -revalidate -scenario units -in units.pool -out units2.pool
+//
+// -revalidate reruns every pool mutation against the scenario's current
+// suite and drops newly unsafe entries — the paper's incremental-update
+// path for when a repaired bug's failing test joins the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/mutation"
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		build      = flag.Bool("build", false, "precompute a pool for -scenario")
+		inspect    = flag.Bool("inspect", false, "print a pool summary")
+		revalidate = flag.Bool("revalidate", false, "re-check a pool against the scenario's suite")
+
+		scenarioFl = flag.String("scenario", "", "registry scenario name")
+		in         = flag.String("in", "", "input pool file")
+		out        = flag.String("out", "", "output pool file")
+		target     = flag.Int("target", 0, "pool size target (default: scenario profile)")
+		workers    = flag.Int("workers", 8, "parallel evaluation workers")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *build:
+		prof, err := scenario.ByName(*scenarioFl)
+		fatalIf(err)
+		if *target > 0 {
+			prof.PoolTarget = *target
+		}
+		sc := scenario.Generate(prof)
+		t0 := time.Now()
+		pl := sc.BuildPool(*workers, rng.New(*seed))
+		st := pl.Stats()
+		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe)\n",
+			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate())
+		save(pl, *out)
+
+	case *inspect:
+		pl := load(*in)
+		st := pl.Stats()
+		fmt.Printf("pool: %d safe mutations (program: %d statements)\n", pl.Size(), pl.Original().Len())
+		fmt.Printf("build stats: %d attempts, %d evaluated, %d duplicates skipped, safe rate %.0f%%\n",
+			st.Attempts, st.Evaluated, st.Duplicates, 100*st.SafeRate())
+		byOp := map[mutation.Op]int{}
+		for _, m := range pl.Mutations() {
+			byOp[m.Op]++
+		}
+		for _, op := range mutation.Ops {
+			fmt.Printf("  %-8s %d\n", op, byOp[op])
+		}
+
+	case *revalidate:
+		prof, err := scenario.ByName(*scenarioFl)
+		fatalIf(err)
+		sc := scenario.Generate(prof)
+		pl := load(*in)
+		t0 := time.Now()
+		removed := pl.Revalidate(sc.Suite, *workers)
+		fmt.Printf("revalidated %s pool in %v: %d mutations dropped, %d remain\n",
+			prof.Name, time.Since(t0).Round(time.Millisecond), removed, pl.Size())
+		if *out != "" {
+			save(pl, *out)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func save(pl *pool.Pool, path string) {
+	if path == "" {
+		fatalIf(fmt.Errorf("missing -out"))
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	defer f.Close()
+	fatalIf(pl.Save(f))
+	fmt.Printf("wrote %s\n", path)
+}
+
+func load(path string) *pool.Pool {
+	if path == "" {
+		fatalIf(fmt.Errorf("missing -in"))
+	}
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	pl, err := pool.Load(f)
+	fatalIf(err)
+	return pl
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poolctl:", err)
+		os.Exit(1)
+	}
+}

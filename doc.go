@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of "Multiplicative
+// Weights Algorithms for Parallel Automated Software Repair" (Renzullo,
+// Weimer, Forrest — IPDPS 2021).
+//
+// The library lives under internal/: the three parallel MWU realizations
+// (internal/mwu), the MWRepair two-phase APR algorithm (internal/core),
+// every substrate they need (TinyLang interpreter, test suites, mutation
+// operators, safe-mutation pools, scenario generator, baselines), and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation (internal/experiments).
+//
+// Entry points:
+//
+//	cmd/experiments  — regenerate Tables I–IV, Figures 4a/4b, the cost
+//	                   model demo and the Sec. IV-G APR comparison
+//	cmd/mwrepair     — run the full MWRepair pipeline on one scenario
+//	cmd/bandit       — trace one MWU learner on one dataset
+//	examples/        — runnable API walkthroughs
+//
+// The benchmarks in bench_test.go regenerate each experiment at reduced
+// replication counts; see EXPERIMENTS.md for paper-vs-measured results.
+package repro

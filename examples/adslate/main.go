@@ -1,0 +1,73 @@
+// Adslate: the Slate variant in its native domain — choosing a fixed-size
+// slate of advertisements for a page when only the displayed ads produce
+// feedback (clicks).
+//
+// There are 200 candidate ads with unknown click-through rates and 8 ad
+// slots per page view. Enumerating C(200,8) ≈ 5.5×10¹² slates is hopeless;
+// the Slate learner caps the weight vector onto the slate polytope and
+// samples slates whose per-ad inclusion probability follows the weights
+// exactly, updating only the displayed ads with importance-weighted
+// estimates.
+//
+//	go run ./examples/adslate
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bandit"
+	"repro/internal/mwu"
+	"repro/internal/rng"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	const k, slots = 200, 8
+	seed := rng.New(99)
+
+	// Hidden click-through rates: a few great ads, a long mediocre tail.
+	ctr := make([]float64, k)
+	for i := range ctr {
+		ctr[i] = 0.02 + 0.1*seed.Float64()
+	}
+	for _, hot := range []int{17, 42, 133} {
+		ctr[hot] = 0.5 + 0.3*seed.Float64()
+	}
+	problem := bandit.NewProblem(dist.New("ads", ctr))
+
+	learner := mwu.NewSlate(mwu.SlateConfig{K: k, N: slots, Gamma: 0.05, Eta: 0.02}, seed.Split())
+	res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 10000})
+
+	fmt.Printf("after %d page views (converged: %v):\n", res.Iterations, res.Converged)
+	fmt.Printf("  top learned ad: #%d (true CTR %.3f; best possible %.3f)\n",
+		res.Choice, ctr[res.Choice], ctr[problem.Best()])
+
+	// Rank all ads by learned weight and show the learned slate.
+	weights := learner.Weights()
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	fmt.Printf("  learned top-%d slate:", slots)
+	for _, ad := range order[:slots] {
+		fmt.Printf(" #%d(%.2f)", ad, ctr[ad])
+	}
+	fmt.Println()
+	fmt.Printf("  clicks observed: %.0f over %d impressions\n",
+		sumRewards(problem), problem.TotalPulls())
+}
+
+// sumRewards estimates total clicks from per-arm accounting.
+func sumRewards(p *bandit.Problem) float64 {
+	// Pull counts × true rates give the expected click total; the example
+	// keeps the oracle simple rather than recording every outcome.
+	total := 0.0
+	d := p.Distribution()
+	for i := 0; i < p.Arms(); i++ {
+		total += float64(p.Pulls(i)) * d.Value(i)
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+// Package baseline implements the search-based APR algorithms MWRepair is
+// compared against in Sec. IV-G of the paper: GenProg (a genetic algorithm
+// over patches), RSRepair (random search with the same operators), and AE
+// (deterministic single-edit enumeration with equivalence-based
+// deduplication). jGenProg is GenProg run on the Java-profile scenarios;
+// the harness makes that distinction.
+//
+// All baselines share MWRepair's mutation operator vocabulary
+// (internal/mutation) and fitness function, so the explored search space
+// is the same — the paper's condition for a fair comparison. Costs are
+// reported in fitness evaluations (deduplicated mutants are free, which is
+// precisely AE's adaptive-equivalence economy) and in serial latency:
+// these tools evaluate candidates sequentially, whereas MWRepair's latency
+// is its iteration count because each iteration's probes run in parallel.
+package baseline
+
+import (
+	"repro/internal/lang"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/testsuite"
+)
+
+// Result summarizes one baseline repair attempt.
+type Result struct {
+	// Algorithm is the baseline's name.
+	Algorithm string
+	// Repaired reports whether a full repair was found.
+	Repaired bool
+	// Patch is the repairing mutation set (nil if none).
+	Patch []mutation.Mutation
+	// FitnessEvals is the number of distinct test-suite executions.
+	FitnessEvals int64
+	// CandidatesTried counts candidate patches considered (including
+	// duplicates resolved by the cache).
+	CandidatesTried int64
+	// Latency is the serial latency proxy: the number of sequential
+	// evaluation steps the tool performed (== CandidatesTried for these
+	// single-threaded searches).
+	Latency int64
+	// Generations counts GA generations (GenProg only).
+	Generations int
+}
+
+// Config bounds a baseline run.
+type Config struct {
+	// MaxEvals caps fitness evaluations; 0 means 20000.
+	MaxEvals int64
+	// PopSize is the GA population (GenProg); 0 means 40.
+	PopSize int
+	// CrossoverRate is the GA crossover probability; 0 means 0.5.
+	CrossoverRate float64
+	// MutationRate is the probability a GA child gains a fresh mutation;
+	// 0 means 0.5.
+	MutationRate float64
+	// NegWeight is the weighted-fitness multiplier for bug-inducing tests
+	// (GenProg uses 10).
+	NegWeight float64
+}
+
+func (c *Config) fill() {
+	if c.MaxEvals <= 0 {
+		c.MaxEvals = 20000
+	}
+	if c.PopSize <= 0 {
+		c.PopSize = 40
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.5
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.5
+	}
+	if c.NegWeight <= 0 {
+		c.NegWeight = 10
+	}
+}
+
+// Problem bundles what every baseline needs.
+type Problem struct {
+	Program *lang.Program
+	Suite   *testsuite.Suite
+	// weights[i] is the fault-localization weight of statement i.
+	weights []float64
+	targets []int // statements with positive weight
+	runner  *testsuite.Runner
+}
+
+// NewProblem builds the shared search state, including GenProg-style fault
+// localization: statements executed only by failing (negative) tests get
+// weight 1.0, statements executed by both get 0.1, all others 0.
+func NewProblem(p *lang.Program, s *testsuite.Suite) *Problem {
+	posCov := coverageOf(p, s.Positive)
+	negCov := coverageOf(p, s.Negative)
+	pr := &Problem{
+		Program: p,
+		Suite:   s,
+		weights: make([]float64, p.Len()),
+		runner:  testsuite.NewRunner(s),
+	}
+	for i := range pr.weights {
+		switch {
+		case negCov[i] && !posCov[i]:
+			pr.weights[i] = 1.0
+		case negCov[i] && posCov[i]:
+			pr.weights[i] = 0.1
+		}
+		if pr.weights[i] > 0 {
+			pr.targets = append(pr.targets, i)
+		}
+	}
+	return pr
+}
+
+func coverageOf(p *lang.Program, tests []testsuite.Test) []bool {
+	cov := make([]bool, p.Len())
+	for _, tc := range tests {
+		res := lang.Run(p, lang.Options{Input: tc.Input, Trace: true, MaxSteps: tc.MaxSteps})
+		for i, c := range res.Coverage {
+			if c {
+				cov[i] = true
+			}
+		}
+	}
+	return cov
+}
+
+// Runner exposes the shared evaluation runner (for inspecting counters).
+func (pr *Problem) Runner() *testsuite.Runner { return pr.runner }
+
+// Targets returns the fault-localized statement indices.
+func (pr *Problem) Targets() []int { return append([]int(nil), pr.targets...) }
+
+// randomMutation draws one mutation targeting a fault-localized statement,
+// weighted by suspiciousness.
+func (pr *Problem) randomMutation(r *rng.RNG) mutation.Mutation {
+	if len(pr.targets) == 0 {
+		panic("baseline: no fault-localized statements")
+	}
+	// Weighted target choice.
+	var total float64
+	for _, t := range pr.targets {
+		total += pr.weights[t]
+	}
+	u := r.Float64() * total
+	at := pr.targets[len(pr.targets)-1]
+	acc := 0.0
+	for _, t := range pr.targets {
+		acc += pr.weights[t]
+		if u < acc {
+			at = t
+			break
+		}
+	}
+	op := mutation.Ops[r.Intn(len(mutation.Ops))]
+	m := mutation.Mutation{Op: op, At: at}
+	if op != mutation.Delete {
+		m.From = r.Intn(pr.Program.Len())
+	}
+	return m
+}
+
+// evaluate scores a patch, returning its fitness and whether it repairs.
+func (pr *Problem) evaluate(patch []mutation.Mutation) (testsuite.Fitness, bool) {
+	mutant := mutation.Apply(pr.Program, patch)
+	f := pr.runner.Eval(mutant)
+	return f, f.Repair()
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// ExampleRepairWithAlgorithm runs the full MWRepair pipeline on a small
+// generated scenario: precompute the safe-mutation pool, then the online
+// MWU composition search with early termination on repair.
+func ExampleRepairWithAlgorithm() {
+	sc := scenario.Generate(scenario.Profile{
+		Name: "example", Blocks: 12, Redundancy: 2.0, Options: 20,
+		PositiveTests: 5, Seed: 3,
+	})
+	seed := rng.New(42)
+	pl := sc.BuildPool(4, seed.Split())
+
+	res, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, seed.Split(), core.Config{
+		MaxIter: 2000, Workers: 1, MaxX: 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("repaired:", res.Repaired)
+	// Output: repaired: true
+}

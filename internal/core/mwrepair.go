@@ -1,0 +1,223 @@
+// Package core implements MWRepair (paper Fig. 5/6): automated program
+// repair recast as a two-phase, naturally parallel online estimation
+// problem.
+//
+// Phase 1 (precompute, internal/pool): build a pool of individually safe
+// mutations — embarrassingly parallel, amortizable across bugs.
+//
+// Phase 2 (online, this package): a multi-armed bandit whose arms are "how
+// many pool mutations to compose per probe" (x ∈ 1..K). Each iteration,
+// the chosen MWU realization assigns an arm to every parallel evaluator;
+// each evaluator samples that many distinct pool mutations, applies them
+// to the defective program, and runs the test suite. A probe that passes
+// the full suite is a repair and terminates the search (Fig. 6's early
+// return). Otherwise the probe's outcome feeds the MWU weight update,
+// biasing subsequent samples toward the composition sizes where the
+// density of useful programs is highest (Fig. 4b).
+//
+// The learner is pluggable behind mwu.Learner — the MWU_Init / MWU_Sample
+// / MWU_Update interfaces of Fig. 6 — so Standard, Slate and Distributed
+// drop in interchangeably.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/lang"
+	"repro/internal/mutation"
+	"repro/internal/mwu"
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/testsuite"
+)
+
+// RewardPolicy selects how a probe's outcome becomes a bandit reward.
+type RewardPolicy int
+
+const (
+	// RewardThroughput (default) rewards a safe probe with probability
+	// min(1, x/scale), making the expected reward proportional to x·S(x)
+	// up to the reference scale — the rate at which the search usefully
+	// screens pool mutations. This is the unimodal objective of Fig. 4b:
+	// raw safety S(x) alone is maximized by the degenerate x = 1, which
+	// would defeat composition entirely; the throughput factor encodes
+	// the paper's trade-off between step size and failure rate.
+	RewardThroughput RewardPolicy = iota
+	// RewardSafety is the literal Fig. 6 rule: reward 1 iff the mutant's
+	// fitness is at least the original's (i.e. the composition is safe).
+	RewardSafety
+)
+
+// DefaultThroughputScale is the reference probe width for the throughput
+// reward: composition sizes up to this earn proportionally more reward
+// when safe. It matches the range where the paper's Fig. 4a safe-density
+// curves live (1–80 mutations); normalizing by the full arm count K
+// instead would crush the reward signal on large instances (at K = 5000 a
+// safe probe of 30 mutations would be rewarded 0.6% of the time).
+const DefaultThroughputScale = 64
+
+// Config controls the online phase.
+type Config struct {
+	// MaxIter bounds update cycles (the evaluation uses 10,000).
+	MaxIter int
+	// Workers is the parallel probe evaluation width; 0 = GOMAXPROCS.
+	Workers int
+	// MaxX caps the largest composition size considered; 0 means
+	// min(pool size, scenario options). The arm count K is MaxX.
+	MaxX int
+	// Reward selects the reward policy.
+	Reward RewardPolicy
+	// ThroughputScale overrides DefaultThroughputScale for the
+	// RewardThroughput policy; 0 means the default.
+	ThroughputScale int
+}
+
+// Result summarizes one repair attempt.
+type Result struct {
+	// Repaired reports whether a full repair was found.
+	Repaired bool
+	// Patch is the mutation set of the first repair found (nil otherwise).
+	Patch []mutation.Mutation
+	// Program is the repaired program (nil if not repaired).
+	Program *lang.Program
+	// Iterations is the number of online update cycles executed — the
+	// latency proxy: with n parallel evaluators, wall-clock latency is
+	// proportional to iterations, not probes.
+	Iterations int
+	// Probes is the total number of candidate evaluations issued online.
+	Probes int64
+	// FitnessEvals is the number of distinct test-suite executions
+	// (deduplicated mutants are free), the Sec. IV-G cost currency.
+	FitnessEvals int64
+	// LearnedArm is the composition size (x) the learner favoured at the
+	// end — the online estimate of the Fig. 4b optimum.
+	LearnedArm int
+	// Agents is the per-iteration parallelism the learner used.
+	Agents int
+}
+
+// repairOracle adapts (pool, suite) to the bandit.Oracle interface. Arm i
+// means "compose i+1 pool mutations". It is safe for concurrent probes and
+// captures the first repair seen.
+type repairOracle struct {
+	pl     *pool.Pool
+	runner *testsuite.Runner
+	k      int
+	policy RewardPolicy
+	scale  int
+
+	mu     sync.Mutex
+	patch  []mutation.Mutation
+	mutant *lang.Program
+}
+
+// Arms implements bandit.Oracle.
+func (o *repairOracle) Arms() int { return o.k }
+
+// Probe implements bandit.Oracle: one parallel evaluation step of Fig. 6
+// lines 5–13.
+func (o *repairOracle) Probe(arm int, r *rng.RNG) bandit.Reward {
+	x := arm + 1
+	mutant, muts := o.pl.ApplySample(x, r)
+	safe, repair := o.runner.Outcome(mutant)
+	if repair {
+		o.mu.Lock()
+		if o.patch == nil {
+			o.patch = muts
+			o.mutant = mutant
+		}
+		o.mu.Unlock()
+		return 1
+	}
+	if !safe {
+		return 0
+	}
+	switch o.policy {
+	case RewardSafety:
+		return 1
+	default: // RewardThroughput
+		scale := o.scale
+		if scale <= 0 {
+			scale = DefaultThroughputScale
+		}
+		p := float64(x) / float64(scale)
+		if p > 1 {
+			p = 1
+		}
+		if r.Bool(p) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// repair returns the captured repair, if any.
+func (o *repairOracle) repair() ([]mutation.Mutation, *lang.Program) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.patch, o.mutant
+}
+
+// Repair runs the online phase with the given learner over a precomputed
+// pool. The learner's arm count must equal min(cfg.MaxX, pool size); use
+// Arms to compute it before constructing the learner.
+func Repair(pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rng.RNG, cfg Config) Result {
+	k := Arms(pl, cfg)
+	if learner.K() != k {
+		panic(fmt.Sprintf("core: learner has %d arms, repair problem has %d", learner.K(), k))
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 10000
+	}
+	runner := testsuite.NewRunner(suite)
+	oracle := &repairOracle{pl: pl, runner: runner, k: k, policy: cfg.Reward, scale: cfg.ThroughputScale}
+
+	runRes := mwu.Run(learner, oracle, seed, mwu.RunConfig{
+		MaxIter: cfg.MaxIter,
+		Workers: cfg.Workers,
+		OnIteration: func(iter int, l mwu.Learner) bool {
+			patch, _ := oracle.repair()
+			return patch != nil // Fig. 6 line 8: terminate early on repair
+		},
+	})
+
+	patch, mutant := oracle.repair()
+	res := Result{
+		Repaired:     patch != nil,
+		Patch:        patch,
+		Program:      mutant,
+		Iterations:   runRes.Iterations,
+		Probes:       learner.Metrics().Probes,
+		FitnessEvals: runner.Evals(),
+		LearnedArm:   runRes.Choice + 1,
+		Agents:       learner.Agents(),
+	}
+	return res
+}
+
+// Arms returns the bandit arm count for a pool under a config:
+// min(MaxX or pool size, pool size).
+func Arms(pl *pool.Pool, cfg Config) int {
+	k := pl.Size()
+	if cfg.MaxX > 0 && cfg.MaxX < k {
+		k = cfg.MaxX
+	}
+	if k < 1 {
+		panic("core: empty pool")
+	}
+	return k
+}
+
+// RepairWithAlgorithm is the convenience entry point: it builds the named
+// MWU learner with evaluation defaults and runs Repair. Distributed
+// configurations beyond the tractability bound return an error.
+func RepairWithAlgorithm(algorithm string, pl *pool.Pool, suite *testsuite.Suite, seed *rng.RNG, cfg Config) (Result, error) {
+	k := Arms(pl, cfg)
+	learner, err := mwu.New(algorithm, k, seed.Split())
+	if err != nil {
+		return Result{}, err
+	}
+	return Repair(pl, suite, learner, seed.Split(), cfg), nil
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 20 {
+		t.Fatalf("dataset count = %d, want 20", len(names))
+	}
+	want := map[string]bool{
+		"random64": true, "random16384": true,
+		"unimodal64": true, "unimodal16384": true,
+		"units": true, "gzip-2009-08-16": true, "Chart26": true, "Math80": true,
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for n := range want {
+		if !have[n] {
+			t.Fatalf("missing dataset %q in %v", n, names)
+		}
+	}
+}
+
+func TestNamesOfKind(t *testing.T) {
+	if got := NamesOfKind(KindRandom); len(got) != 5 {
+		t.Fatalf("random datasets = %v", got)
+	}
+	if got := NamesOfKind(KindUnimodal); len(got) != 5 {
+		t.Fatalf("unimodal datasets = %v", got)
+	}
+	if got := NamesOfKind(KindC); len(got) != 5 {
+		t.Fatalf("c datasets = %v", got)
+	}
+	if got := NamesOfKind(KindJava); len(got) != 5 {
+		t.Fatalf("java datasets = %v", got)
+	}
+}
+
+func TestSyntheticSizes(t *testing.T) {
+	for _, size := range SyntheticSizes {
+		d := MustGet(fmtName("random", size))
+		if d.Size != size || d.Dist.Size() != size {
+			t.Fatalf("random%d has size %d/%d", size, d.Size, d.Dist.Size())
+		}
+	}
+}
+
+func fmtName(prefix string, size int) string {
+	switch size {
+	case 64:
+		return prefix + "64"
+	case 256:
+		return prefix + "256"
+	case 1024:
+		return prefix + "1024"
+	case 4096:
+		return prefix + "4096"
+	case 16384:
+		return prefix + "16384"
+	}
+	return ""
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGetMemoizes(t *testing.T) {
+	a := MustGet("random64")
+	b := MustGet("random64")
+	if a != b {
+		t.Fatal("dataset not memoized")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	d := MustGet("random256")
+	// A fixed seed pins the distribution; spot-check stability of the best
+	// arm across calls (memoization aside, rebuild through the spec).
+	if d.Dist.Best() < 0 || d.Dist.Best() >= 256 {
+		t.Fatalf("best = %d", d.Dist.Best())
+	}
+}
+
+func TestUnimodalDatasetsAreUnimodal(t *testing.T) {
+	for _, size := range []int{64, 256} {
+		d := MustGet(fmtName("unimodal", size))
+		vals := d.Dist.Values()
+		peak := d.Dist.Best()
+		for i := 1; i <= peak; i++ {
+			if vals[i] < vals[i-1]-1e-9 {
+				t.Fatalf("unimodal%d not increasing before peak", size)
+			}
+		}
+		for i := peak + 1; i < len(vals); i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				t.Fatalf("unimodal%d not decreasing after peak", size)
+			}
+		}
+	}
+}
+
+func TestEmpiricalDatasetSmallest(t *testing.T) {
+	// lighttpd is the smallest empirical scenario (50 options); building
+	// it exercises the full generate → pool → measure → interpolate path.
+	d := MustGet("lighttpd-1806-1807")
+	if d.Kind != KindC || d.Size != 50 {
+		t.Fatalf("dataset = %+v", d)
+	}
+	vals := d.Dist.Values()
+	if len(vals) != 50 {
+		t.Fatalf("values = %d", len(vals))
+	}
+	// Normalized: max exactly 1, all in [0,1].
+	maxV := 0.0
+	for _, v := range vals {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("value out of range: %v", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if math.Abs(maxV-1) > 1e-9 {
+		t.Fatalf("max value = %v, want 1", maxV)
+	}
+	// The optimum must be interior: composing several mutations beats
+	// composing one (the whole point of the throughput objective), and the
+	// largest compositions are hopeless.
+	best := d.Dist.Best()
+	if best == 0 {
+		t.Fatal("optimum at x=1: objective degenerate")
+	}
+	if best == 49 {
+		t.Fatal("optimum at x=K: no interaction penalty visible")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	xs := []int{1, 4, 10}
+	S := []float64{1.0, 0.4, 0.1}
+	cases := []struct {
+		x    int
+		want float64
+	}{
+		{1, 1.0}, {4, 0.4}, {10, 0.1},
+		{2, 0.8}, {3, 0.6}, {7, 0.25},
+		{15, 0.1},  // beyond grid: last value
+		{100, 0.0}, // beyond pool: zero
+	}
+	for _, c := range cases {
+		got := interpolate(xs, S, c.x, 50)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("interpolate(%d) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterpolateNaNIsZero(t *testing.T) {
+	xs := []int{1, 4}
+	S := []float64{1.0, math.NaN()}
+	if got := interpolate(xs, S, 3, 50); got != 0 {
+		t.Fatalf("NaN segment interpolated to %v", got)
+	}
+}
+
+func TestMeasureGrid(t *testing.T) {
+	xs := measureGrid(1000, 1100)
+	if xs[0] != 1 {
+		t.Fatal("grid must start at 1")
+	}
+	// Dense to 64, then geometric.
+	if xs[63] != 64 {
+		t.Fatalf("xs[63] = %d", xs[63])
+	}
+	last := xs[len(xs)-1]
+	if last != 1000 {
+		t.Fatalf("grid must end at k: %d", last)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("grid not strictly increasing at %d: %v", i, xs[i-1:i+1])
+		}
+	}
+}
+
+func TestMeasureGridPoolSmallerThanK(t *testing.T) {
+	xs := measureGrid(1000, 300)
+	if xs[len(xs)-1] != 300 {
+		t.Fatalf("grid must stop at pool size: %d", xs[len(xs)-1])
+	}
+}

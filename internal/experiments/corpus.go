@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// This file implements the "systematic study on a large corpus of bugs"
+// the paper's Sec. VI identifies as required future work: generate many
+// random repair scenarios across defect kinds and difficulty settings,
+// run MWRepair on each, and report aggregate effectiveness and cost.
+
+// CorpusSpec configures a corpus study.
+type CorpusSpec struct {
+	// N is the number of generated scenarios. Default 20.
+	N int
+	// Algorithm is the MWU realization; default "standard".
+	Algorithm string
+	// MaxIter bounds each online search. Default 2000.
+	MaxIter int
+	// Workers for pool building and probes.
+	Workers int
+	// Seed drives corpus generation.
+	Seed uint64
+}
+
+func (s *CorpusSpec) fill() {
+	if s.N <= 0 {
+		s.N = 20
+	}
+	if s.Algorithm == "" {
+		s.Algorithm = "standard"
+	}
+	if s.MaxIter <= 0 {
+		s.MaxIter = 2000
+	}
+	if s.Workers <= 0 {
+		s.Workers = 8
+	}
+	if s.Seed == 0 {
+		s.Seed = 0xC0FFEE
+	}
+}
+
+// CorpusResult aggregates a corpus study.
+type CorpusResult struct {
+	Spec CorpusSpec
+	// Repaired counts repaired scenarios.
+	Repaired int
+	// ByKind splits outcomes by defect kind and edit count, keyed
+	// "delete/1", "wrong-code/2", ...
+	ByKind map[string][2]int // [repaired, total]
+	// Iterations and FitnessEvals aggregate over repaired scenarios.
+	Iterations   stats.Summary
+	FitnessEvals stats.Summary
+	// LearnedX aggregates the learned composition size at termination.
+	LearnedX stats.Summary
+}
+
+// randomProfile draws one corpus scenario profile: size, redundancy,
+// defect kind and edit count all vary, the way real bug corpora do.
+func randomProfile(i int, r *rng.RNG) scenario.Profile {
+	kind := scenario.DefectDelete
+	if r.Bool(0.4) {
+		kind = scenario.DefectWrongCode
+	}
+	edits := 1
+	switch {
+	case r.Bool(0.15):
+		edits = 3
+	case r.Bool(0.3):
+		edits = 2
+	}
+	return scenario.Profile{
+		Name:          fmt.Sprintf("corpus-%03d", i),
+		Blocks:        16 + r.Intn(48),
+		Redundancy:    1.2 + 1.6*r.Float64(),
+		Options:       30 + r.Intn(120),
+		PositiveTests: 5 + r.Intn(5),
+		DefectEdits:   edits,
+		Kind:          kind,
+		Twins:         2 + r.Intn(3),
+		Seed:          r.Uint64(),
+	}
+}
+
+// RunCorpus generates and repairs the corpus.
+func RunCorpus(spec CorpusSpec) (*CorpusResult, error) {
+	spec.fill()
+	r := rng.New(spec.Seed)
+	res := &CorpusResult{Spec: spec, ByKind: map[string][2]int{}}
+	for i := 0; i < spec.N; i++ {
+		prof := randomProfile(i, r)
+		sc := scenario.Generate(prof)
+		pl := sc.BuildPool(spec.Workers, r.Split())
+		out, err := core.RepairWithAlgorithm(spec.Algorithm, pl, sc.Suite, r.Split(), core.Config{
+			MaxIter: spec.MaxIter,
+			Workers: spec.Workers,
+			MaxX:    prof.Options,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: corpus scenario %d: %w", i, err)
+		}
+		key := fmt.Sprintf("%s/%d", prof.Kind, prof.DefectEdits)
+		kr := res.ByKind[key]
+		kr[1]++
+		if out.Repaired {
+			kr[0]++
+			res.Repaired++
+			res.Iterations.Add(float64(out.Iterations))
+			res.FitnessEvals.Add(float64(out.FitnessEvals))
+			res.LearnedX.Add(float64(out.LearnedArm))
+		}
+		res.ByKind[key] = kr
+	}
+	return res, nil
+}
+
+// RenderCorpus renders the study.
+func RenderCorpus(res *CorpusResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Corpus study — %d generated scenarios, MWRepair (%s MWU)\n",
+		res.Spec.N, res.Spec.Algorithm)
+	fmt.Fprintf(&b, "repaired: %d/%d\n", res.Repaired, res.Spec.N)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "defect class\trepaired")
+	for _, key := range sortedKeys(res.ByKind) {
+		kr := res.ByKind[key]
+		fmt.Fprintf(w, "%s\t%d/%d\n", key, kr[0], kr[1])
+	}
+	w.Flush()
+	if res.Repaired > 0 {
+		fmt.Fprintf(&b, "per repaired scenario: %.0f (%.0f) update cycles, %.0f (%.0f) fitness evals, learned x* %.0f (%.0f)\n",
+			res.Iterations.Mean(), res.Iterations.StdDev(),
+			res.FitnessEvals.Mean(), res.FitnessEvals.StdDev(),
+			res.LearnedX.Mean(), res.LearnedX.StdDev())
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string][2]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/costmodel"
+)
+
+// RenderCostModel demonstrates the Sec. IV-E/F decision model: the
+// weighted asymptotic scores for representative parameter settings and the
+// concrete recommendations for three workload profiles, including the
+// paper's APR case (expensive probes, cheap messages, bounded CPUs) where
+// Standard — the global-memory, high-communication algorithm — wins.
+func RenderCostModel(k int) string {
+	if k <= 0 {
+		k = 1000
+	}
+	p := costmodel.Params{K: k, N: 16, Epsilon: 0.05, Beta: 0.71}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. IV-E — weighted asymptotic cost model (k=%d, n=%d, ε=%.2f, β=%.2f, δ=%.2f)\n",
+		k, p.N, p.Epsilon, p.Beta, p.Delta())
+
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\tcommunication\tmemory\tconvergence\tmin agents")
+	for _, a := range costmodel.Algorithms {
+		c := costmodel.Predict(a, p)
+		fmt.Fprintf(w, "%s\t%.1f\t%.0f\t%.0f\t%.0f\n", a, c.Communication, c.Memory, c.Convergence, c.MinAgents)
+	}
+	w.Flush()
+
+	fmt.Fprintln(&b, "\nExample decision models (cost = α·communication + β·convergence [+ agents term]):")
+	comm := costmodel.Recommend(p, costmodel.Weights{Communication: 1000, Convergence: 0.001})
+	fmt.Fprintf(&b, "  communication-dominated (α≫β): %s — %s\n", comm.Best, comm.Rationale)
+	cpu := costmodel.Recommend(p, costmodel.Weights{Communication: 1, Convergence: 1, Agents: 1000})
+	fmt.Fprintf(&b, "  CPU-weighted:                  %s — %s\n", cpu.Best, cpu.Rationale)
+
+	fmt.Fprintln(&b, "\nSec. IV-F — concrete workload recommendations:")
+	rows := []struct {
+		name string
+		wl   costmodel.WorkloadProfile
+	}{
+		{"APR (probe≫message, 64 CPUs)", costmodel.WorkloadProfile{ProbeCost: 300, MessageCost: 1e-4, CPUBudget: 64}},
+		{"message-bound sensor fusion", costmodel.WorkloadProfile{ProbeCost: 1e-6, MessageCost: 10}},
+		{"balanced, unconstrained", costmodel.WorkloadProfile{ProbeCost: 1, MessageCost: 1}},
+	}
+	for _, r := range rows {
+		rec := costmodel.RecommendForWorkload(r.wl, p)
+		fmt.Fprintf(&b, "  %-32s → %s\n", r.name, rec.Best)
+	}
+	return b.String()
+}

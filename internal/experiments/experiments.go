@@ -1,0 +1,188 @@
+// Package experiments is the harness that regenerates every table and
+// figure in the paper's evaluation (Sec. IV): convergence times
+// (Table II), accuracy (Table III), CPU-iteration cost (Table IV), the
+// empirical verification of the asymptotic comparison (Table I), the
+// search-space characterization figures (Fig. 4a/4b), the cost-model
+// demonstration (Sec. IV-E/F), and the APR comparison against GenProg,
+// RSRepair and AE (Sec. IV-G).
+//
+// The experiment protocol follows Sec. IV-B: every algorithm runs on every
+// dataset with independent seeds (the paper uses 100; the default here is
+// configurable), a 10,000-iteration limit, and μ = γ = ε = 0.05, which
+// fixes all derived parameters.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/dataset"
+	"repro/internal/mwu"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Spec configures a tables run.
+type Spec struct {
+	// Algorithms to run; nil means all three.
+	Algorithms []string
+	// Datasets to run; nil means all twenty.
+	Datasets []string
+	// Seeds is the number of independent replications (paper: 100).
+	// Default 10.
+	Seeds int
+	// MaxIter is the update-cycle limit. Default 10000 (paper).
+	MaxIter int
+	// Parallel is the number of concurrent (algorithm, dataset, seed)
+	// runs. Default GOMAXPROCS.
+	Parallel int
+	// BaseSeed offsets the replication seeds for reproducibility.
+	BaseSeed uint64
+}
+
+func (s *Spec) fill() {
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = append([]string(nil), mwu.Names...)
+	}
+	if len(s.Datasets) == 0 {
+		s.Datasets = dataset.Names()
+	}
+	if s.Seeds <= 0 {
+		s.Seeds = 10
+	}
+	if s.MaxIter <= 0 {
+		s.MaxIter = 10000
+	}
+	if s.Parallel <= 0 {
+		s.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 0x5EED
+	}
+}
+
+// Cell is the aggregate of one (dataset, algorithm) pair over all seeds —
+// one cell of Tables II, III and IV.
+type Cell struct {
+	Dataset   string
+	Kind      dataset.Kind
+	Size      int
+	Algorithm string
+
+	// Intractable marks configurations rejected for needing more agents
+	// than the tractability bound (Distributed at size 16384).
+	Intractable bool
+	// Runs and ConvergedRuns count replications.
+	Runs, ConvergedRuns int
+	// Iterations aggregates update cycles until convergence; runs that hit
+	// the limit contribute MaxIter (the paper reports those cells as
+	// "≥10000").
+	Iterations stats.Summary
+	// Accuracy aggregates the Table III metric (percent of hindsight-best
+	// value attained by the final choice).
+	Accuracy stats.Summary
+	// CPUIterations aggregates iterations × agents (Table IV).
+	CPUIterations stats.Summary
+	// Congestion aggregates the max per-iteration congestion (Table I's
+	// communication row, measured).
+	Congestion stats.Summary
+	// MemoryFloats is the per-node memory overhead (Table I, measured).
+	MemoryFloats int
+	// Agents is the per-iteration CPU count the algorithm used.
+	Agents int
+}
+
+// Key identifies the cell.
+func (c *Cell) Key() string { return c.Dataset + "/" + c.Algorithm }
+
+// RunCell executes all replications for one (algorithm, dataset) pair.
+func RunCell(algorithm string, ds *dataset.Dataset, spec Spec) Cell {
+	spec.fill()
+	cell := Cell{Dataset: ds.Name, Kind: ds.Kind, Size: ds.Size, Algorithm: algorithm}
+	for s := 0; s < spec.Seeds; s++ {
+		seed := rng.New(spec.BaseSeed ^ (uint64(s+1) * 0x9e3779b97f4a7c15))
+		learner, err := mwu.New(algorithm, ds.Size, seed.Split())
+		if err != nil {
+			cell.Intractable = true
+			return cell
+		}
+		problem := bandit.NewProblem(ds.Dist)
+		res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{
+			MaxIter: spec.MaxIter,
+			Workers: 1, // probes here are cheap Bernoulli draws
+		})
+		cell.Runs++
+		if res.Converged {
+			cell.ConvergedRuns++
+		}
+		cell.Iterations.Add(float64(res.Iterations))
+		cell.Accuracy.Add(problem.Accuracy(res.Choice))
+		cell.CPUIterations.Add(float64(res.CPUIterations))
+		m := learner.Metrics()
+		cell.Congestion.Add(float64(m.MaxCongestion))
+		cell.MemoryFloats = m.MemoryFloats
+		cell.Agents = learner.Agents()
+	}
+	return cell
+}
+
+// Run executes the full spec, parallelizing across (algorithm, dataset)
+// cells, and returns cells in (dataset-table-order, algorithm) order.
+func Run(spec Spec) ([]Cell, error) {
+	spec.fill()
+	type job struct {
+		alg string
+		ds  *dataset.Dataset
+	}
+	var jobs []job
+	for _, dn := range spec.Datasets {
+		ds, err := dataset.Get(dn)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range spec.Algorithms {
+			ok := false
+			for _, known := range mwu.Names {
+				if alg == known {
+					ok = true
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown algorithm %q", alg)
+			}
+			jobs = append(jobs, job{alg: alg, ds: ds})
+		}
+	}
+
+	cells := make([]Cell, len(jobs))
+	sem := make(chan struct{}, spec.Parallel)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cells[i] = RunCell(j.alg, j.ds, spec)
+		}(i, j)
+	}
+	wg.Wait()
+
+	// Stable presentation order: dataset groups as in the paper, then
+	// algorithm order standard, distributed, slate.
+	order := map[string]int{}
+	for i, n := range spec.Datasets {
+		order[n] = i
+	}
+	algOrder := map[string]int{"standard": 0, "distributed": 1, "slate": 2}
+	sort.SliceStable(cells, func(a, b int) bool {
+		if order[cells[a].Dataset] != order[cells[b].Dataset] {
+			return order[cells[a].Dataset] < order[cells[b].Dataset]
+		}
+		return algOrder[cells[a].Algorithm] < algOrder[cells[b].Algorithm]
+	})
+	return cells, nil
+}

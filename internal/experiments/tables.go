@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+)
+
+// TableKind selects which of the paper's result tables to render from a
+// cell set.
+type TableKind int
+
+const (
+	// TableConvergence is Table II: update cycles until convergence.
+	TableConvergence TableKind = iota
+	// TableAccuracy is Table III: percent accuracy vs hindsight best.
+	TableAccuracy
+	// TableCPUCost is Table IV: CPU-iterations.
+	TableCPUCost
+)
+
+func (k TableKind) String() string {
+	switch k {
+	case TableConvergence:
+		return "Table II — update cycles until convergence (mean (std); ≥limit = not converged)"
+	case TableAccuracy:
+		return "Table III — accuracy, percent of hindsight-best value (mean (std))"
+	case TableCPUCost:
+		return "Table IV — cost in CPU-iterations (mean)"
+	default:
+		return "unknown table"
+	}
+}
+
+// groupTitles maps dataset kinds to the paper's section headers.
+var groupTitles = []struct {
+	kind  dataset.Kind
+	title string
+}{
+	{dataset.KindRandom, "Random"},
+	{dataset.KindUnimodal, "Unimodal"},
+	{dataset.KindC, "C (ManyBugs + units)"},
+	{dataset.KindJava, "Java (Defects4J)"},
+}
+
+// cellIndex organizes cells by dataset then algorithm.
+type cellIndex struct {
+	datasets []string         // in first-seen order
+	byKey    map[string]*Cell // dataset/algorithm -> cell
+	kinds    map[string]dataset.Kind
+	sizes    map[string]int
+}
+
+func indexCells(cells []Cell) *cellIndex {
+	idx := &cellIndex{
+		byKey: map[string]*Cell{},
+		kinds: map[string]dataset.Kind{},
+		sizes: map[string]int{},
+	}
+	seen := map[string]bool{}
+	for i := range cells {
+		c := &cells[i]
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			idx.datasets = append(idx.datasets, c.Dataset)
+			idx.kinds[c.Dataset] = c.Kind
+			idx.sizes[c.Dataset] = c.Size
+		}
+		idx.byKey[c.Key()] = c
+	}
+	return idx
+}
+
+// algorithms in paper column order.
+var tableAlgs = []string{"standard", "distributed", "slate"}
+
+// RenderTable renders one result table in the paper's layout: scenario
+// rows grouped by dataset kind, one column per algorithm.
+func RenderTable(kind TableKind, cells []Cell, maxIter int) string {
+	idx := indexCells(cells)
+	var b strings.Builder
+	fmt.Fprintln(&b, kind.String())
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Scenario\tSize\tStandard\tDistributed\tSlate")
+	for _, group := range groupTitles {
+		printed := false
+		for _, dn := range idx.datasets {
+			if idx.kinds[dn] != group.kind {
+				continue
+			}
+			if !printed {
+				fmt.Fprintf(w, "-- %s --\t\t\t\t\n", group.title)
+				printed = true
+			}
+			fmt.Fprintf(w, "%s\t%d", dn, idx.sizes[dn])
+			for _, alg := range tableAlgs {
+				c, ok := idx.byKey[dn+"/"+alg]
+				if !ok {
+					fmt.Fprintf(w, "\t·")
+					continue
+				}
+				fmt.Fprintf(w, "\t%s", formatCell(kind, c, maxIter))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// formatCell renders one table entry, using the paper's conventions:
+// "—" for intractable configurations and "≥limit" for cells where no
+// replication converged.
+func formatCell(kind TableKind, c *Cell, maxIter int) string {
+	if c.Intractable {
+		return "—"
+	}
+	switch kind {
+	case TableConvergence:
+		if c.ConvergedRuns == 0 {
+			return fmt.Sprintf("≥%d", maxIter)
+		}
+		return fmt.Sprintf("%.0f (%.0f)", c.Iterations.Mean(), c.Iterations.StdDev())
+	case TableAccuracy:
+		return fmt.Sprintf("%.1f (%.1f)", c.Accuracy.Mean(), c.Accuracy.StdDev())
+	case TableCPUCost:
+		return fmt.Sprintf("%.0f", c.CPUIterations.Mean())
+	default:
+		return "?"
+	}
+}
+
+// RenderAllTables renders Tables II–IV from one cell set.
+func RenderAllTables(cells []Cell, maxIter int) string {
+	var b strings.Builder
+	for _, k := range []TableKind{TableConvergence, TableAccuracy, TableCPUCost} {
+		b.WriteString(RenderTable(k, cells, maxIter))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomProgram builds a structurally valid but semantically arbitrary
+// program — the shape of thing mutation produces constantly. The
+// interpreter must contain it: no panics, bounded steps, defined results.
+func randomProgram(r *rng.RNG, stmts int) *Program {
+	vars := []string{"a", "b", "c", "n"}
+	labels := []string{"l0", "l1", "l2"}
+	var randExpr func(depth int) Expr
+	randExpr = func(depth int) Expr {
+		if depth <= 0 || r.Bool(0.4) {
+			if r.Bool(0.5) {
+				return &NumLit{Value: int64(r.Intn(100)) - 50}
+			}
+			return &VarRef{Name: vars[r.Intn(len(vars))]}
+		}
+		ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		if r.Bool(0.15) {
+			return &UnaryExpr{Op: []string{"-", "!"}[r.Intn(2)], X: randExpr(depth - 1)}
+		}
+		return &BinExpr{Op: ops[r.Intn(len(ops))], L: randExpr(depth - 1), R: randExpr(depth - 1)}
+	}
+	p := &Program{}
+	for i := 0; i < stmts; i++ {
+		switch r.Intn(8) {
+		case 0:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtSet, Var: vars[r.Intn(len(vars))], Expr: randExpr(3)})
+		case 1:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtPrint, Expr: randExpr(3)})
+		case 2:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtIf, Expr: randExpr(2), Target: labels[r.Intn(len(labels))]})
+		case 3:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtGoto, Target: labels[r.Intn(len(labels))]})
+		case 4:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtLabel, Target: labels[r.Intn(len(labels))]})
+		case 5:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtInput, Var: vars[r.Intn(len(vars))]})
+		case 6:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtNop})
+		case 7:
+			p.Stmts = append(p.Stmts, &Stmt{Kind: StmtHalt})
+		}
+	}
+	return p
+}
+
+// Property: the interpreter never panics on arbitrary programs, always
+// terminates within the step budget, and its String form re-parses to an
+// equivalent program.
+func TestQuickRandomProgramsContained(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		r := rng.New(seed)
+		p := randomProgram(r, int(sizeRaw)%40+1)
+		res := Run(p, Options{Input: []int64{3, 7, 11}, MaxSteps: 2000})
+		if res.Steps > 2000 {
+			return false
+		}
+		// Canonical text must re-parse.
+		p2, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		// And behave identically.
+		res2 := Run(p2, Options{Input: []int64{3, 7, 11}, MaxSteps: 2000})
+		if len(res.Output) != len(res2.Output) || res.Steps != res2.Steps {
+			return false
+		}
+		for i := range res.Output {
+			if res.Output[i] != res2.Output[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage tracing marks exactly the executed prefix semantics —
+// a covered statement index is always within bounds and the entry
+// statement of a non-empty program that executes at least one step is
+// covered.
+func TestQuickCoverageSane(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		r := rng.New(seed)
+		p := randomProgram(r, int(sizeRaw)%30+1)
+		res := Run(p, Options{Input: []int64{1, 2, 3}, MaxSteps: 1000, Trace: true})
+		if len(res.Coverage) != p.Len() {
+			return false
+		}
+		if res.Steps > 0 && !res.Coverage[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

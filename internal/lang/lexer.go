@@ -1,0 +1,125 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes TinyLang source. It is line-oriented: newlines are
+// significant (they terminate statements) and '#' starts a comment that
+// runs to end of line.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// twoCharOps are the multi-character operators, checked before single
+// characters.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+// singleOps are the single-character operators and punctuation.
+const singleOps = "+-*/%()<>=!,"
+
+// Next returns the next token. Consecutive newlines collapse into one
+// TokNewline. At end of input it returns TokEOF forever.
+func (l *Lexer) Next() (Token, error) {
+	// Skip horizontal whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	}
+	c := l.src[l.pos]
+
+	if c == '\n' {
+		tok := Token{Kind: TokNewline, Text: "\n", Line: l.line}
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\n' {
+				l.line++
+				l.pos++
+				continue
+			}
+			if ch == ' ' || ch == '\t' || ch == '\r' {
+				l.pos++
+				continue
+			}
+			if ch == '#' {
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return tok, nil
+	}
+
+	if isDigit(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: l.line}, nil
+	}
+
+	if isIdentStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if IsKeyword(text) {
+			return Token{Kind: TokKeyword, Text: text, Line: l.line}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: l.line}, nil
+	}
+
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += 2
+			return Token{Kind: TokOp, Text: op, Line: l.line}, nil
+		}
+	}
+	if strings.IndexByte(singleOps, c) >= 0 {
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Line: l.line}, nil
+	}
+	return Token{}, fmt.Errorf("lang: line %d: unexpected character %q", l.line, c)
+}
+
+// Tokens lexes the whole input.
+func Tokens(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

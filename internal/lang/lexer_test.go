@@ -1,0 +1,137 @@
+package lang
+
+import "testing"
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokens("set x = 1 + 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "set"},
+		{TokIdent, "x"},
+		{TokOp, "="},
+		{TokNumber, "1"},
+		{TokOp, "+"},
+		{TokNumber, "2"},
+		{TokNewline, "\n"},
+		{TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Fatalf("token %d = %v, want %v %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexerTwoCharOps(t *testing.T) {
+	toks, err := Tokens("if a == b goto L\nif a <= b goto L\nif a && b goto L\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokOp {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"==", "<=", "&&"}
+	if len(ops) != 3 {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := Tokens("# full line comment\nset x = 1 # trailing\n# another\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comment text vanishes; a full-line comment leaves only its newline
+	// (which the parser skips).
+	kinds := []TokenKind{}
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TokNewline, TokKeyword, TokIdent, TokOp, TokNumber, TokNewline, TokKeyword, TokNewline, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestLexerCollapsesBlankLines(t *testing.T) {
+	toks, err := Tokens("halt\n\n\n\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newlines := 0
+	for _, tk := range toks {
+		if tk.Kind == TokNewline {
+			newlines++
+		}
+	}
+	if newlines != 2 {
+		t.Fatalf("newline tokens = %d, want 2", newlines)
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	toks, err := Tokens("halt\nhalt\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []int{}
+	for _, tk := range toks {
+		if tk.Kind == TokKeyword {
+			lines = append(lines, tk.Line)
+		}
+	}
+	if len(lines) != 3 || lines[0] != 1 || lines[1] != 2 || lines[2] != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestLexerRejectsBadChar(t *testing.T) {
+	if _, err := Tokens("set x = $\n"); err == nil {
+		t.Fatal("expected error for '$'")
+	}
+}
+
+func TestLexerEOFIsSticky(t *testing.T) {
+	l := NewLexer("halt")
+	for i := 0; i < 5; i++ {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 1 && tok.Kind != TokEOF {
+			t.Fatalf("token after end = %v", tok)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, kw := range []string{"set", "print", "if", "goto", "label", "input", "halt", "nop"} {
+		if !IsKeyword(kw) {
+			t.Fatalf("%q should be a keyword", kw)
+		}
+	}
+	if IsKeyword("x") || IsKeyword("") {
+		t.Fatal("non-keywords misclassified")
+	}
+}

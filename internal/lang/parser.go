@@ -1,0 +1,300 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds a Program from TinyLang source. Grammar (one statement per
+// line):
+//
+//	stmt    := "set" ident "=" expr
+//	         | "print" expr
+//	         | "if" expr "goto" ident
+//	         | "goto" ident
+//	         | "label" ident
+//	         | "input" ident
+//	         | "halt" | "nop"
+//	expr    := orExpr
+//	orExpr  := andExpr { "||" andExpr }
+//	andExpr := cmpExpr { "&&" cmpExpr }
+//	cmpExpr := addExpr [ ("=="|"!="|"<"|"<="|">"|">=") addExpr ]
+//	addExpr := mulExpr { ("+"|"-") mulExpr }
+//	mulExpr := unary { ("*"|"/"|"%") unary }
+//	unary   := [ "-" | "!" ] primary
+//	primary := number | ident | "(" expr ")"
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses TinyLang source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	p.skipNewlines()
+	for p.peek().Kind != TokEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error (for tests and generated code
+// whose validity is guaranteed by construction).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) skipNewlines() {
+	for p.peek().Kind == TokNewline {
+		p.pos++
+	}
+}
+
+func (p *Parser) endOfStatement() error {
+	t := p.peek()
+	switch t.Kind {
+	case TokEOF:
+		return nil
+	case TokNewline:
+		p.skipNewlines()
+		return nil
+	default:
+		return fmt.Errorf("lang: line %d: unexpected %s after statement", t.Line, t)
+	}
+}
+
+func (p *Parser) expectOp(op string) error {
+	t := p.next()
+	if t.Kind != TokOp || t.Text != op {
+		return fmt.Errorf("lang: line %d: expected %q, got %s", t.Line, op, t)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("lang: line %d: expected identifier, got %s", t.Line, t)
+	}
+	return t.Text, nil
+}
+
+func (p *Parser) parseStmt() (*Stmt, error) {
+	t := p.next()
+	if t.Kind != TokKeyword {
+		return nil, fmt.Errorf("lang: line %d: expected statement keyword, got %s", t.Line, t)
+	}
+	switch t.Text {
+	case "set":
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtSet, Var: name, Expr: e}, nil
+	case "print":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtPrint, Expr: e}, nil
+	case "if":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		kw := p.next()
+		if kw.Kind != TokKeyword || kw.Text != "goto" {
+			return nil, fmt.Errorf("lang: line %d: expected 'goto' in if statement, got %s", kw.Line, kw)
+		}
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtIf, Expr: e, Target: target}, nil
+	case "goto":
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtGoto, Target: target}, nil
+	case "label":
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtLabel, Target: target}, nil
+	case "input":
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtInput, Var: name}, nil
+	case "halt":
+		return &Stmt{Kind: StmtHalt}, nil
+	case "nop":
+		return &Stmt{Kind: StmtNop}, nil
+	default:
+		return nil, fmt.Errorf("lang: line %d: unknown keyword %q", t.Line, t.Text)
+	}
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp && p.peek().Text == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp && p.peek().Text == "&&" {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokOp && cmpOps[t.Text] {
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.Text, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.Kind == TokNumber:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lang: line %d: bad number %q: %v", t.Line, t.Text, err)
+		}
+		return &NumLit{Value: v}, nil
+	case t.Kind == TokIdent:
+		return &VarRef{Name: t.Text}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("lang: line %d: expected expression, got %s", t.Line, t)
+	}
+}

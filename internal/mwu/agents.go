@@ -1,0 +1,284 @@
+package mwu
+
+import (
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/rng"
+)
+
+// This file contains the message-passing realization of the Distributed
+// MWU: one goroutine per agent, no shared mutable state, all coordination
+// over channels. It computes the same dynamics as the synchronous engine
+// in distributed.go (which the experiment harness uses for speed) and
+// exists to demonstrate — and test — the variant's headline property: the
+// algorithm runs on distributed memory, with each agent holding O(1) state
+// and communicating only point-to-point observation queries.
+//
+// Protocol per iteration (two phases, coordinator-barriered):
+//
+//  1. Observe: each agent flips μ; explorers pick a random option locally,
+//     observers send a query to a uniformly random peer and await the
+//     reply. While awaiting, agents keep serving incoming queries, and a
+//     sender that finds a full query buffer serves its own inbox while
+//     retrying, so cyclic waits cannot deadlock. Choices only change in
+//     phase 2, so every query answered in phase 1 returns the settled
+//     choice from the previous iteration — exactly the synchronous
+//     semantics of Fig. 3.
+//  2. Evaluate & adopt: each agent probes the oracle with its own RNG
+//     stream and adopts the observed option with probability β on success
+//     or α on failure, then reports its new choice to the coordinator,
+//     which tracks popularity for the plurality convergence test.
+
+// mpQuery is an observation request; the reply carries the peer's current
+// choice.
+type mpQuery struct {
+	reply chan int
+}
+
+// mpReport is an agent's end-of-phase message to the coordinator.
+type mpReport struct {
+	id     int
+	choice int // new choice (phase 2) or observed option (phase 1)
+	served int // queries served this phase (congestion accounting)
+}
+
+// mpAgent is one distributed agent: O(1) algorithm state (its current
+// choice), plus its channels and private RNG stream.
+type mpAgent struct {
+	id      int
+	choice  int
+	r       *rng.RNG
+	queries chan mpQuery
+	cmd     chan int // phase commands from the coordinator
+
+	observedOption int // O_j for the current iteration
+	served         int // queries answered since the last evaluate phase
+}
+
+const (
+	cmdObserve = iota
+	cmdEvaluate
+	cmdStop
+)
+
+// MessagePassingResult extends RunResult with the message accounting the
+// cost model consumes.
+type MessagePassingResult struct {
+	RunResult
+	Metrics Metrics
+}
+
+// RunMessagePassing executes the Distributed MWU with one goroutine per
+// agent. It honours the same configuration and convergence criterion as
+// the synchronous engine. The seed fully determines all algorithmic
+// randomness; goroutine scheduling cannot affect results because choices
+// are frozen during the observation phase.
+func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, maxIter int) (MessagePassingResult, error) {
+	if cfg.K <= 0 {
+		panic("mwu: DistributedConfig.K must be positive")
+	}
+	cfg.fill()
+	if cfg.MaxAgents > 0 && cfg.PopSize > cfg.MaxAgents {
+		return MessagePassingResult{}, &ErrIntractable{K: cfg.K, PopSize: cfg.PopSize, MaxAgents: cfg.MaxAgents}
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	n := cfg.PopSize
+
+	agents := make([]*mpAgent, n)
+	reports := make(chan mpReport, n)
+	for j := 0; j < n; j++ {
+		agents[j] = &mpAgent{
+			id:      j,
+			choice:  j % cfg.K,
+			r:       seed.Split(),
+			queries: make(chan mpQuery, 16),
+			cmd:     make(chan int, 1),
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for _, a := range agents {
+		go func(a *mpAgent) {
+			defer wg.Done()
+			a.run(cfg, o, agents, reports)
+		}(a)
+	}
+
+	counts := make([]int, cfg.K)
+	for _, a := range agents {
+		counts[a.choice]++
+	}
+	var m Metrics
+	m.MemoryFloats = 1
+
+	res := MessagePassingResult{}
+	converged := false
+	for t := 1; t <= maxIter && !converged; t++ {
+		// Phase 1: observe. Reports here only signal phase completion.
+		for _, a := range agents {
+			a.cmd <- cmdObserve
+		}
+		for i := 0; i < n; i++ {
+			<-reports
+		}
+		// Phase 2: evaluate and adopt. Reports carry the new choice and
+		// the number of observation queries the agent answered this
+		// iteration (its in-degree — the congestion of Table I).
+		for _, a := range agents {
+			a.cmd <- cmdEvaluate
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		congestion := 0
+		messages := int64(0)
+		for i := 0; i < n; i++ {
+			rep := <-reports
+			counts[rep.choice]++
+			if rep.served > congestion {
+				congestion = rep.served
+			}
+			messages += int64(rep.served)
+		}
+		m.recordIteration(n, congestion, messages)
+		res.Iterations = t
+
+		lead := bestCount(counts)
+		if float64(counts[lead]) >= cfg.Plurality*float64(n) {
+			converged = true
+			res.Converged = true
+		}
+	}
+	for _, a := range agents {
+		a.cmd <- cmdStop
+	}
+	wg.Wait()
+
+	lead := bestCount(counts)
+	res.Choice = lead
+	res.LeaderProb = float64(counts[lead]) / float64(n)
+	res.CPUIterations = m.CPUIterations
+	res.Metrics = m
+	return res, nil
+}
+
+func bestCount(counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// run is the agent goroutine body.
+func (a *mpAgent) run(cfg DistributedConfig, o bandit.Oracle, agents []*mpAgent, reports chan<- mpReport) {
+	replyCh := make(chan int, 1)
+	for {
+		switch a.waitCommand() {
+		case cmdStop:
+			a.drainQueries()
+			return
+		case cmdObserve:
+			if a.r.Float64() < cfg.Mu {
+				a.observedOption = a.r.Intn(cfg.K)
+			} else {
+				peer := agents[a.r.Intn(len(agents))]
+				if peer == a {
+					a.observedOption = a.choice
+					a.served++ // self-observation still counts as a lookup
+				} else {
+					q := mpQuery{reply: replyCh}
+					// Send while serving: never block on a full peer inbox
+					// without draining our own, so query cycles cannot
+					// deadlock.
+				sendLoop:
+					for {
+						select {
+						case peer.queries <- q:
+							break sendLoop
+						case in := <-a.queries:
+							a.serve(in)
+						}
+					}
+					// Await the reply, still serving.
+				recvLoop:
+					for {
+						select {
+						case a.observedOption = <-replyCh:
+							break recvLoop
+						case in := <-a.queries:
+							a.serve(in)
+						}
+					}
+				}
+			}
+			// Report phase completion, then keep serving from waitCommand
+			// until the evaluate command — peers may still query us.
+			a.deliver(reports, mpReport{id: a.id})
+		case cmdEvaluate:
+			reward := o.Probe(a.observedOption, a.r)
+			adopt := false
+			if reward == 1 {
+				adopt = a.r.Float64() < cfg.Beta
+			} else {
+				adopt = a.r.Float64() < cfg.Alpha
+			}
+			if adopt {
+				a.choice = a.observedOption
+			}
+			a.deliver(reports, mpReport{id: a.id, choice: a.choice, served: a.served})
+			a.served = 0
+		}
+	}
+}
+
+// serve answers one observation query.
+func (a *mpAgent) serve(in mpQuery) {
+	in.reply <- a.choice
+	a.served++
+}
+
+// waitCommand blocks for the next coordinator command while serving
+// incoming observation queries.
+func (a *mpAgent) waitCommand() int {
+	for {
+		select {
+		case c := <-a.cmd:
+			return c
+		case in := <-a.queries:
+			a.serve(in)
+		}
+	}
+}
+
+// deliver sends a report to the coordinator, serving queries while the
+// report channel is contended.
+func (a *mpAgent) deliver(reports chan<- mpReport, rep mpReport) {
+	for {
+		select {
+		case reports <- rep:
+			return
+		case in := <-a.queries:
+			a.serve(in)
+		}
+	}
+}
+
+// drainQueries answers any stragglers before exiting (none should exist
+// at stop time, but a blocked peer must never hang).
+func (a *mpAgent) drainQueries() {
+	for {
+		select {
+		case in := <-a.queries:
+			in.reply <- a.choice
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package mwu implements the three parallel Multiplicative Weights Update
+// realizations the paper compares (Sec. II):
+//
+//   - Standard — the weighted-majority MWU of Arora–Hazan–Kale: a global
+//     shared weight vector over all k options, n parallel evaluators, full
+//     synchronization every iteration.
+//   - Slate — the bandit slate-selection MWU of Kale–Reyzin–Schapire: a
+//     fixed-size slate of n distinct options per iteration, selected by
+//     capping the weight vector onto the slate polytope and decomposing it
+//     into a convex combination of slates (internal/simplex); only slate
+//     members receive (importance-weighted) updates.
+//   - Distributed — the memoryless social-learning MWU of
+//     Celis–Krafft–Vishnoi: a population of agents each holding a single
+//     current choice; the weight vector exists only implicitly as option
+//     popularity. Each agent observes a random option (prob. μ) or a random
+//     neighbor's choice, evaluates it, and adopts it with prob. β on
+//     success or α on failure.
+//
+// All three sit behind the Learner interface, which mirrors the generic
+// MWU_Init / MWU_Sample / MWU_Update decomposition of the MWRepair
+// algorithm (paper Fig. 6): Sample returns the option each parallel
+// evaluator should probe this cycle, and Update consumes the rewards.
+// Probe evaluation itself — the expensive part in APR — is owned by the
+// Run driver, which fans probes out across goroutines with independent,
+// pre-split RNG streams so results are deterministic under a fixed seed
+// regardless of scheduling.
+package mwu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bandit"
+	"repro/internal/rng"
+)
+
+// Learner is one MWU realization. Implementations are not safe for
+// concurrent use; the Run driver calls Sample/Update from a single
+// goroutine and parallelizes only the probe evaluations between them.
+type Learner interface {
+	// Name identifies the realization ("standard", "slate", "distributed").
+	Name() string
+	// K returns the number of options.
+	K() int
+	// Agents returns the number of parallel evaluators (CPUs) the learner
+	// occupies each iteration — the per-iteration CPU cost of Table IV.
+	Agents() int
+	// Sample assigns an option to each of the Agents() evaluators for this
+	// update cycle. The returned slice is owned by the learner and valid
+	// until the matching Update call.
+	Sample() []int
+	// Update consumes the rewards observed for the assignment returned by
+	// the immediately preceding Sample call (rewards[i] ∈ {0,1} is the
+	// outcome for arms[i]).
+	Update(arms []int, rewards []float64)
+	// Leader returns the option the learner currently considers best
+	// (highest weight, or most popular for Distributed).
+	Leader() int
+	// LeaderProb returns the leader's share: its probability under the
+	// normalized weight vector, or its popularity fraction for Distributed.
+	LeaderProb() float64
+	// Converged reports whether the learner's own convergence criterion
+	// (Sec. IV-C) is met.
+	Converged() bool
+	// Metrics exposes the learner's cost accounting.
+	Metrics() *Metrics
+}
+
+// Metrics accumulates the cost accounting the evaluation reports:
+// update cycles (Table II), CPU-iterations (Table IV), communication
+// congestion, and per-node memory overhead (Table I).
+type Metrics struct {
+	// Iterations is the number of completed update cycles.
+	Iterations int
+	// Probes is the total number of option evaluations issued.
+	Probes int64
+	// CPUIterations is the sum over iterations of agents occupied — the
+	// currency of Table IV.
+	CPUIterations int64
+	// MaxCongestion is the maximum number of messages any single node
+	// received in one iteration (Table I "communication cost").
+	MaxCongestion int
+	// SumCongestion accumulates per-iteration congestion for averaging.
+	SumCongestion int64
+	// MessagesSent counts all point-to-point messages.
+	MessagesSent int64
+	// MemoryFloats is the per-node memory overhead in float64 words
+	// (Table I "memory overhead"): k for Standard/Slate, O(1) for
+	// Distributed.
+	MemoryFloats int
+}
+
+// MeanCongestion returns the average per-iteration congestion.
+func (m *Metrics) MeanCongestion() float64 {
+	if m.Iterations == 0 {
+		return 0
+	}
+	return float64(m.SumCongestion) / float64(m.Iterations)
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf("iters=%d probes=%d cpu-iters=%d congestion(max=%d mean=%.1f) mem=%d",
+		m.Iterations, m.Probes, m.CPUIterations, m.MaxCongestion, m.MeanCongestion(), m.MemoryFloats)
+}
+
+// recordIteration folds one update cycle into the metrics.
+func (m *Metrics) recordIteration(agents, congestion int, messages int64) {
+	m.Iterations++
+	m.Probes += int64(agents)
+	m.CPUIterations += int64(agents)
+	if congestion > m.MaxCongestion {
+		m.MaxCongestion = congestion
+	}
+	m.SumCongestion += int64(congestion)
+	m.MessagesSent += messages
+}
+
+// RunConfig controls the Run driver.
+type RunConfig struct {
+	// MaxIter caps the number of update cycles (the paper uses 10,000).
+	MaxIter int
+	// Workers sets the probe-evaluation goroutine count; 0 means
+	// GOMAXPROCS. Use 1 for fully sequential evaluation.
+	Workers int
+	// OnIteration, if non-nil, runs after each update cycle with the
+	// completed iteration count; returning true stops the run early
+	// (MWRepair's early termination hooks in here).
+	OnIteration func(iter int, l Learner) bool
+}
+
+// RunResult summarizes a completed run.
+type RunResult struct {
+	// Converged reports whether the learner met its criterion before the
+	// iteration limit.
+	Converged bool
+	// Iterations is the number of update cycles executed.
+	Iterations int
+	// Choice is the leader when the run ended.
+	Choice int
+	// LeaderProb is the leader's final share.
+	LeaderProb float64
+	// CPUIterations is iterations × agents (Table IV).
+	CPUIterations int64
+	// Stopped reports whether OnIteration ended the run.
+	Stopped bool
+}
+
+// Run drives a learner against an oracle until convergence, the iteration
+// limit, or an OnIteration stop. Probes are evaluated in parallel across
+// cfg.Workers goroutines; each evaluator slot uses its own pre-split RNG
+// stream keyed by slot index, so a fixed seed yields identical results at
+// any worker count.
+func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 10000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ev := newEvaluator(o, seed, workers)
+
+	res := RunResult{}
+	for t := 1; t <= cfg.MaxIter; t++ {
+		arms := l.Sample()
+		rewards := ev.probeAll(arms)
+		l.Update(arms, rewards)
+		res.Iterations = t
+		if l.Converged() {
+			res.Converged = true
+			break
+		}
+		if cfg.OnIteration != nil && cfg.OnIteration(t, l) {
+			res.Stopped = true
+			break
+		}
+	}
+	res.Choice = l.Leader()
+	res.LeaderProb = l.LeaderProb()
+	res.CPUIterations = l.Metrics().CPUIterations
+	return res
+}
+
+// evaluator owns the parallel probe fan-out. Each evaluator slot (agent
+// index) has a dedicated RNG stream created once up front; rewards
+// therefore depend only on (slot, call sequence), never on goroutine
+// interleaving.
+type evaluator struct {
+	oracle  bandit.Oracle
+	workers int
+	seed    *rng.RNG
+	streams []*rng.RNG
+	rewards []float64
+}
+
+func newEvaluator(o bandit.Oracle, seed *rng.RNG, workers int) *evaluator {
+	return &evaluator{oracle: o, workers: workers, seed: seed}
+}
+
+// ensure grows the per-slot stream table to at least n entries.
+func (e *evaluator) ensure(n int) {
+	for len(e.streams) < n {
+		e.streams = append(e.streams, e.seed.Split())
+	}
+	if cap(e.rewards) < n {
+		e.rewards = make([]float64, n)
+	}
+	e.rewards = e.rewards[:n]
+}
+
+// probeAll evaluates arms[i] with slot i's stream, in parallel. The
+// returned slice is reused across calls.
+func (e *evaluator) probeAll(arms []int) []float64 {
+	n := len(arms)
+	e.ensure(n)
+	if e.workers == 1 || n == 1 {
+		for i, a := range arms {
+			e.rewards[i] = e.oracle.Probe(a, e.streams[i])
+		}
+		return e.rewards
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				e.rewards[i] = e.oracle.Probe(arms[i], e.streams[i])
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return e.rewards
+}

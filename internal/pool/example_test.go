@@ -1,0 +1,40 @@
+package pool_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/testsuite"
+)
+
+// ExamplePrecompute builds a safe-mutation pool for a tiny program with a
+// redundant recomputation, then round-trips it through serialization.
+func ExamplePrecompute() {
+	program := lang.MustParse(`input a
+set t = a * 2
+set t = a * 2
+print t
+halt
+nop
+`)
+	suite := &testsuite.Suite{Positive: []testsuite.Test{
+		{Input: []int64{3}, Want: []int64{6}},
+		{Input: []int64{0}, Want: []int64{0}},
+	}}
+
+	pl := pool.Precompute(program, suite, pool.Config{Target: 5, Workers: 2}, rng.New(1))
+
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		panic(err)
+	}
+	back, err := pool.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round-tripped pool size matches:", back.Size() == pl.Size())
+	// Output: round-tripped pool size matches: true
+}

@@ -1,0 +1,305 @@
+// Package pool implements the paper's precompute phase (Sec. III-C): a
+// one-time, embarrassingly-parallel construction of a large pool of
+// individually safe mutations that the online repair phase later composes.
+//
+// Precomputation removes the synchronization bottleneck the paper
+// describes: if threads generated safe mutations on demand inside the
+// online loop, every synchronization block would wait for the slowest
+// thread (with 64 threads, the worst 10% of generation costs are incurred
+// almost every iteration). With a precomputed pool, each online probe is a
+// single test-suite evaluation.
+//
+// Candidate generation is cheap and sequential (so pool contents are
+// deterministic under a fixed seed, independent of worker count);
+// candidate evaluation — the expensive part — fans out across goroutines.
+package pool
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/lang"
+	"repro/internal/mutation"
+	"repro/internal/rng"
+	"repro/internal/testsuite"
+)
+
+// Pool is a set of individually safe mutations for one program, in
+// original-program coordinates.
+type Pool struct {
+	original  *lang.Program
+	mutations []mutation.Mutation
+	stats     Stats
+}
+
+// Stats records the cost of building (and updating) a pool.
+type Stats struct {
+	// Attempts is the number of candidate mutations generated.
+	Attempts int
+	// Evaluated is the number of candidates whose safety was actually
+	// tested (distinct candidates).
+	Evaluated int
+	// Safe is the number found safe (== final pool size after build).
+	Safe int
+	// Duplicates is the number of candidates skipped as already seen —
+	// the repeated-generation waste the paper attributes to on-the-fly
+	// approaches.
+	Duplicates int
+}
+
+// SafeRate returns the fraction of evaluated candidates that were safe
+// (the paper reports ≈30% for whole-statement mutations on C and Java).
+func (s Stats) SafeRate() float64 {
+	if s.Evaluated == 0 {
+		return 0
+	}
+	return float64(s.Safe) / float64(s.Evaluated)
+}
+
+// Config controls precomputation.
+type Config struct {
+	// Target is the desired pool size.
+	Target int
+	// MaxAttempts bounds candidate generation; 0 means 200 × Target.
+	MaxAttempts int
+	// Workers is the parallel evaluation width; 0 means 8.
+	Workers int
+}
+
+func (c *Config) fill() {
+	if c.Target <= 0 {
+		c.Target = 100
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 200 * c.Target
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+}
+
+// Precompute builds a pool of safe mutations for the program under the
+// suite's positive (regression) tests. Safety means every positive test
+// still passes; negative tests are deliberately excluded — a safe mutation
+// need not repair anything, and the pool is reusable across future bugs in
+// the same program (Sec. III-C).
+func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.RNG) *Pool {
+	cfg.fill()
+	covered := testsuite.CoveredIndices(p, suite)
+	if len(covered) == 0 {
+		panic("pool: test suite covers no statements")
+	}
+	// Safety is judged against positive tests only.
+	posSuite := &testsuite.Suite{Positive: suite.Positive}
+	runner := testsuite.NewRunner(posSuite)
+
+	pl := &Pool{original: p.Clone()}
+	seen := make(map[string]struct{})
+
+	const batchSize = 64
+	type cand struct {
+		m    mutation.Mutation
+		safe bool
+	}
+	for pl.stats.Attempts < cfg.MaxAttempts && len(pl.mutations) < cfg.Target {
+		// Sequential, deterministic candidate generation.
+		batch := make([]cand, 0, batchSize)
+		for len(batch) < batchSize && pl.stats.Attempts < cfg.MaxAttempts {
+			m := mutation.Random(p, covered, seed)
+			pl.stats.Attempts++
+			if _, dup := seen[m.ID()]; dup {
+				pl.stats.Duplicates++
+				continue
+			}
+			seen[m.ID()] = struct{}{}
+			batch = append(batch, cand{m: m})
+		}
+		if len(batch) == 0 {
+			break
+		}
+		// Parallel, expensive safety evaluation.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for i := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(c *cand) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				mutant := mutation.Apply(p, []mutation.Mutation{c.m})
+				c.safe = runner.Safe(mutant)
+			}(&batch[i])
+		}
+		wg.Wait()
+		pl.stats.Evaluated += len(batch)
+		// Deterministic append in generation order.
+		for _, c := range batch {
+			if c.safe && len(pl.mutations) < cfg.Target {
+				pl.mutations = append(pl.mutations, c.m)
+			}
+		}
+	}
+	pl.stats.Safe = len(pl.mutations)
+	return pl
+}
+
+// Original returns (a copy of) the program the pool was built for.
+func (pl *Pool) Original() *lang.Program { return pl.original.Clone() }
+
+// Size returns the number of safe mutations in the pool.
+func (pl *Pool) Size() int { return len(pl.mutations) }
+
+// Stats returns the build statistics.
+func (pl *Pool) Stats() Stats { return pl.stats }
+
+// Mutations returns a copy of the pool's mutations.
+func (pl *Pool) Mutations() []mutation.Mutation {
+	return append([]mutation.Mutation(nil), pl.mutations...)
+}
+
+// Get returns the i-th pool mutation.
+func (pl *Pool) Get(i int) mutation.Mutation { return pl.mutations[i] }
+
+// Sample draws x distinct pool mutations uniformly at random. It panics if
+// x exceeds the pool size.
+func (pl *Pool) Sample(x int, r *rng.RNG) []mutation.Mutation {
+	if x > len(pl.mutations) {
+		panic(fmt.Sprintf("pool: sample of %d from pool of %d", x, len(pl.mutations)))
+	}
+	idx := r.SampleWithoutReplacement(len(pl.mutations), x)
+	out := make([]mutation.Mutation, x)
+	for i, j := range idx {
+		out[i] = pl.mutations[j]
+	}
+	return out
+}
+
+// ApplySample applies x random distinct pool mutations to the original
+// program and returns the mutant along with the mutations used.
+func (pl *Pool) ApplySample(x int, r *rng.RNG) (*lang.Program, []mutation.Mutation) {
+	muts := pl.Sample(x, r)
+	return mutation.Apply(pl.original, muts), muts
+}
+
+// Add appends a mutation to the pool if it is not already present,
+// returning whether it was added. The caller asserts safety; Add validates
+// only structural bounds. Scenario construction uses this to guarantee the
+// canonical repairing mutation is inside the frozen pool sample (the
+// paper's benchmark defects are likewise known to be repairable within the
+// GenProg operator space).
+func (pl *Pool) Add(m mutation.Mutation) bool {
+	if err := m.Validate(pl.original.Len()); err != nil {
+		panic(err)
+	}
+	id := m.ID()
+	for _, have := range pl.mutations {
+		if have.ID() == id {
+			return false
+		}
+	}
+	pl.mutations = append(pl.mutations, m)
+	pl.stats.Safe = len(pl.mutations)
+	return true
+}
+
+// Contains reports whether a mutation with the same identity is in the
+// pool.
+func (pl *Pool) Contains(m mutation.Mutation) bool {
+	id := m.ID()
+	for _, have := range pl.mutations {
+		if have.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Revalidate re-checks every pool mutation against an updated suite and
+// drops those no longer safe, returning how many were removed. This is the
+// incremental-update path of Sec. III-C: when a repaired bug's failing
+// test joins the regression suite, the pool is rerun on the new tests
+// rather than rebuilt.
+func (pl *Pool) Revalidate(suite *testsuite.Suite, workers int) int {
+	if workers <= 0 {
+		workers = 8
+	}
+	posSuite := &testsuite.Suite{Positive: suite.Positive}
+	runner := testsuite.NewRunner(posSuite)
+	keep := make([]bool, len(pl.mutations))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range pl.mutations {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mutant := mutation.Apply(pl.original, []mutation.Mutation{pl.mutations[i]})
+			keep[i] = runner.Safe(mutant)
+		}(i)
+	}
+	wg.Wait()
+	var kept []mutation.Mutation
+	for i, k := range keep {
+		if k {
+			kept = append(kept, pl.mutations[i])
+		}
+	}
+	removed := len(pl.mutations) - len(kept)
+	pl.mutations = kept
+	pl.stats.Safe = len(kept)
+	return removed
+}
+
+// poolFile is the serialized form.
+type poolFile struct {
+	Source    string              `json:"source"`
+	Mutations []mutation.Mutation `json:"mutations"`
+	Stats     Stats               `json:"stats"`
+}
+
+// Save writes the pool as JSON (program source + mutation list + stats).
+func (pl *Pool) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(poolFile{
+		Source:    pl.original.String(),
+		Mutations: pl.mutations,
+		Stats:     pl.stats,
+	})
+}
+
+// Load reads a pool written by Save and validates every mutation against
+// the embedded program.
+func Load(r io.Reader) (*Pool, error) {
+	var f poolFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("pool: decode: %w", err)
+	}
+	prog, err := lang.Parse(f.Source)
+	if err != nil {
+		return nil, fmt.Errorf("pool: embedded program: %w", err)
+	}
+	for _, m := range f.Mutations {
+		if err := m.Validate(prog.Len()); err != nil {
+			return nil, err
+		}
+	}
+	return &Pool{original: prog, mutations: f.Mutations, stats: f.Stats}, nil
+}
+
+// FromMutations builds a pool directly from a known-safe mutation list
+// (used by tests and by scenario construction).
+func FromMutations(p *lang.Program, muts []mutation.Mutation) *Pool {
+	for _, m := range muts {
+		if err := m.Validate(p.Len()); err != nil {
+			panic(err)
+		}
+	}
+	return &Pool{
+		original:  p.Clone(),
+		mutations: append([]mutation.Mutation(nil), muts...),
+		stats:     Stats{Safe: len(muts), Evaluated: len(muts), Attempts: len(muts)},
+	}
+}

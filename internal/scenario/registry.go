@@ -1,0 +1,62 @@
+package scenario
+
+import "fmt"
+
+// Registry lists the repair-scenario profiles the evaluation uses, one per
+// benchmark subject in the paper's Tables II–IV. The Options column is
+// the paper's scenario "size": the number of bandit arms (maximum
+// composition count) the online phase chooses among.
+//
+// The remaining knobs shape the program so its measured safe-density curve
+// resembles the subject's role in the paper: larger subjects get longer
+// programs; the Java subjects share one size (100) but differ in
+// redundancy and program structure, which varies their value
+// distributions, mirroring "each of the five Java scenarios have the same
+// number of options, but vary in the distribution of values over them".
+var Registry = []Profile{
+	// C dataset: four ManyBugs-style scenarios and units. Defect flavours
+	// vary as across real benchmarks: units and gzip-2009-09-26 carry
+	// wrong-code defects (repairable only by replacing the bad statement
+	// with correct twin code from elsewhere in the program);
+	// gzip-2009-08-16 carries a two-edit defect — the kind the paper
+	// argues single-edit tools cannot reach.
+	{Name: "units", Blocks: 60, Redundancy: 2.0, Options: 1000, PositiveTests: 8, Kind: DefectWrongCode, Twins: 3, Seed: 0xC0001},
+	{Name: "gzip-2009-08-16", Blocks: 120, Redundancy: 2.2, Options: 5000, PositiveTests: 10, DefectEdits: 2, Seed: 0xC0002},
+	{Name: "gzip-2009-09-26", Blocks: 100, Redundancy: 2.0, Options: 2000, PositiveTests: 10, Kind: DefectWrongCode, Twins: 2, Seed: 0xC0003},
+	{Name: "libtiff-2005-12-14", Blocks: 48, Redundancy: 1.8, Options: 100, PositiveTests: 6, Seed: 0xC0004},
+	{Name: "lighttpd-1806-1807", Blocks: 36, Redundancy: 1.6, Options: 50, PositiveTests: 6, Seed: 0xC0005},
+
+	// Java dataset: five Defects4J-style scenarios, all size 100. The two
+	// Closure subjects carry multi-edit defects (two and three coordinated
+	// edits); Chart26 and Math80 carry wrong-code defects.
+	{Name: "Chart26", Blocks: 56, Redundancy: 2.4, Options: 100, PositiveTests: 8, Kind: DefectWrongCode, Twins: 4, Seed: 0x7A001},
+	{Name: "Closure13", Blocks: 72, Redundancy: 1.4, Options: 100, PositiveTests: 8, DefectEdits: 2, Seed: 0x7A002},
+	{Name: "Closure22", Blocks: 64, Redundancy: 1.7, Options: 100, PositiveTests: 8, DefectEdits: 3, Seed: 0x7A003},
+	{Name: "Math8", Blocks: 44, Redundancy: 2.8, Options: 100, PositiveTests: 8, Seed: 0x7A004},
+	{Name: "Math80", Blocks: 52, Redundancy: 2.1, Options: 100, PositiveTests: 8, Kind: DefectWrongCode, Twins: 3, Seed: 0x7A005},
+}
+
+// CNames and JavaNames partition the registry as in the paper's tables.
+var (
+	CNames    = []string{"units", "gzip-2009-08-16", "gzip-2009-09-26", "libtiff-2005-12-14", "lighttpd-1806-1807"}
+	JavaNames = []string{"Chart26", "Closure13", "Closure22", "Math8", "Math80"}
+)
+
+// ByName returns the registry profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Registry {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// MustByName is ByName for known-good names; it panics on error.
+func MustByName(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,275 @@
+// Package simplex implements the geometry behind the Slate MWU variant
+// (Sec. II-B/C of the paper).
+//
+// Choosing a slate of n distinct options from k according to a weight
+// vector cannot be done by enumerating the C(k, n) subsets — the paper
+// notes that with k = 1000 and n = 16 there are ~4.2×10^34 of them.
+// Instead, the weight vector is capped and normalized so it lies in the
+// polytope whose vertices are the incidence vectors of the slates (the
+// (n, k)-hypersimplex), and is then decomposed into a convex combination
+// of at most k vertices in O(k²) time. Sampling a vertex from that
+// combination yields a random slate whose per-option marginal inclusion
+// probability equals the capped weight exactly.
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// floatTol absorbs roundoff in the decomposition loop's invariants.
+const floatTol = 1e-9
+
+// CapDistribution projects the probability vector p onto the set of
+// distributions with all components at most 1/n: components are scaled up
+// uniformly, any component exceeding the cap is pinned to 1/n, and the
+// remainder is renormalized (the standard water-filling projection). The
+// result q satisfies sum(q) = 1, q_i <= 1/n, and preserves the order of p.
+// It panics if p has fewer than n components or non-positive total mass.
+func CapDistribution(p []float64, n int) []float64 {
+	k := len(p)
+	if n <= 0 || n > k {
+		panic(fmt.Sprintf("simplex: invalid slate size %d for %d options", n, k))
+	}
+	total := 0.0
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			panic("simplex: negative or NaN weight")
+		}
+		total += v
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		panic("simplex: non-positive or infinite total weight")
+	}
+	cap := 1.0 / float64(n)
+
+	// Sort indices by weight descending; pin the largest components to the
+	// cap one at a time until the scaled remainder fits under the cap.
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return p[idx[a]] > p[idx[b]] })
+
+	q := make([]float64, k)
+	pinned := 0        // number of components pinned at the cap
+	remaining := total // mass of unpinned components of p
+	for pinned < k {
+		// Scale factor that would make unpinned components sum to the
+		// leftover probability mass.
+		leftover := 1 - float64(pinned)*cap
+		if leftover <= 0 {
+			// All mass is consumed by pinned components (only possible
+			// when pinned == n and the rest get zero).
+			break
+		}
+		largest := p[idx[pinned]]
+		if largest*leftover/remaining <= cap+floatTol {
+			// No more components exceed the cap after scaling.
+			scale := leftover / remaining
+			for _, i := range idx[pinned:] {
+				q[i] = p[i] * scale
+			}
+			break
+		}
+		q[idx[pinned]] = cap
+		remaining -= largest
+		pinned++
+		if remaining <= 0 && pinned < k {
+			// The unpinned components of p carry no mass. Any probability
+			// not consumed by the pinned components is spread uniformly
+			// over them (e.g. p = [1,0,0] with n = 2 caps to
+			// [1/2, 1/4, 1/4]) so the result is still a distribution.
+			leftover := 1 - float64(pinned)*cap
+			if leftover > 0 {
+				share := leftover / float64(k-pinned)
+				for _, i := range idx[pinned:] {
+					q[i] = share
+				}
+			}
+			break
+		}
+	}
+	return q
+}
+
+// Slate is one selected subset, represented as sorted option indices.
+type Slate []int
+
+// Component is one term of a convex decomposition: take slate S with
+// probability Coeff.
+type Component struct {
+	Coeff float64
+	Slate Slate
+}
+
+// Decompose writes the vector v (with sum(v) = n·μ for some μ in (0,1]
+// and 0 <= v_i <= μ; callers typically pass v_i = n·q_i with μ = 1) as a
+// convex combination of incidence vectors of n-subsets. It returns at most
+// k components whose coefficients sum to μ. The greedy step peels off the
+// top-n components with the largest feasible coefficient; each iteration
+// retires at least one tight constraint, so at most k iterations run and
+// the total cost is O(k²) (matching the paper's Sec. II-C analysis).
+func Decompose(v []float64, n int) []Component {
+	k := len(v)
+	if n <= 0 || n > k {
+		panic(fmt.Sprintf("simplex: invalid slate size %d for %d options", n, k))
+	}
+	w := append([]float64(nil), v...)
+	mu := 0.0
+	for _, x := range w {
+		if x < -floatTol {
+			panic("simplex: negative component")
+		}
+		mu += x
+	}
+	mu /= float64(n)
+	if mu <= floatTol {
+		panic("simplex: zero mass vector")
+	}
+	for _, x := range w {
+		if x > mu+1e-6 {
+			panic(fmt.Sprintf("simplex: component %v exceeds mass bound %v", x, mu))
+		}
+	}
+
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	var out []Component
+	for iter := 0; iter <= k+1; iter++ {
+		if mu <= floatTol {
+			return out
+		}
+		// Top-n components form the slate.
+		sort.Slice(order, func(a, b int) bool { return w[order[a]] > w[order[b]] })
+		slate := make(Slate, n)
+		copy(slate, order[:n])
+		sort.Ints(slate)
+
+		// Largest coefficient keeping the invariant 0 <= w_i <= μ' for the
+		// next round: limited by the smallest on-slate value and by the
+		// gap between μ and the largest off-slate value.
+		theta := w[order[n-1]]
+		if n < k {
+			if gap := mu - w[order[n]]; gap < theta {
+				theta = gap
+			}
+		}
+		if theta > mu {
+			theta = mu
+		}
+		if theta <= floatTol {
+			// Numerically stuck: dump the remaining mass on this slate.
+			// The invariants guarantee this only happens within roundoff
+			// of completion.
+			out = append(out, Component{Coeff: mu, Slate: slate})
+			return out
+		}
+		for _, i := range slate {
+			w[i] -= theta
+			if w[i] < 0 {
+				w[i] = 0
+			}
+		}
+		mu -= theta
+		out = append(out, Component{Coeff: theta, Slate: slate})
+	}
+	panic("simplex: decomposition failed to terminate (invariant violation)")
+}
+
+// SampleSlate draws one slate of size n according to the capped projection
+// of the weight vector w: it caps w, decomposes, and samples a component.
+// The marginal probability that option i appears in the slate equals the
+// capped probability n·q_i.
+func SampleSlate(w []float64, n int, r *rng.RNG) (Slate, []float64) {
+	q := CapDistribution(w, n)
+	v := make([]float64, len(q))
+	for i, qi := range q {
+		v[i] = float64(n) * qi
+	}
+	comps := Decompose(v, n)
+	coeffs := make([]float64, len(comps))
+	for i, c := range comps {
+		coeffs[i] = c.Coeff
+	}
+	return comps[r.Categorical(coeffs)].Slate, q
+}
+
+// SystematicSample draws a slate of n distinct options whose marginal
+// inclusion probabilities equal v_i exactly, where v must satisfy
+// sum(v) = n and 0 <= v_i <= 1, in O(k) time (Madow's systematic
+// sampling). A single uniform offset u is drawn; option i is selected iff
+// the interval [C_{i-1}, C_i) of cumulative sums contains a point of
+// u + Z. The joint distribution differs from the convex-decomposition
+// sampler (inclusions of nearby indices are negatively correlated), but
+// MWU's importance-weighted updates depend only on the marginals, so the
+// two are interchangeable for learning; the decomposition remains the
+// reference implementation and the O(k²) cost quoted in the paper.
+func SystematicSample(v []float64, n int, r *rng.RNG) Slate {
+	k := len(v)
+	if n <= 0 || n > k {
+		panic(fmt.Sprintf("simplex: invalid slate size %d for %d options", n, k))
+	}
+	total := 0.0
+	for _, x := range v {
+		if x < -floatTol || x > 1+1e-6 {
+			panic(fmt.Sprintf("simplex: marginal %v outside [0,1]", x))
+		}
+		total += x
+	}
+	if math.Abs(total-float64(n)) > 1e-6*float64(n)+1e-9 {
+		panic(fmt.Sprintf("simplex: marginals sum to %v, want %d", total, n))
+	}
+	u := r.Float64()
+	out := make(Slate, 0, n)
+	c := 0.0
+	next := u
+	for i := 0; i < k && len(out) < n; i++ {
+		c += v[i]
+		for next < c-floatTol && len(out) < n {
+			out = append(out, i)
+			next++
+		}
+	}
+	// Roundoff can leave a shortfall; fill with the largest unselected
+	// marginals (affects probabilities by at most the float tolerance).
+	if len(out) < n {
+		selected := make(map[int]bool, len(out))
+		for _, i := range out {
+			selected[i] = true
+		}
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return v[order[a]] > v[order[b]] })
+		for _, i := range order {
+			if len(out) >= n {
+				break
+			}
+			if !selected[i] {
+				out = append(out, i)
+				selected[i] = true
+			}
+		}
+		sort.Ints(out)
+	}
+	return out
+}
+
+// Reconstruct sums coeff·indicator(slate) over the components — used by
+// tests to verify that a decomposition reproduces its input vector.
+func Reconstruct(comps []Component, k int) []float64 {
+	out := make([]float64, k)
+	for _, c := range comps {
+		for _, i := range c.Slate {
+			out[i] += c.Coeff
+		}
+	}
+	return out
+}

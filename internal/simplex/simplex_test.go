@@ -1,0 +1,446 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestCapDistributionNoOpWhenUnderCap(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	q := CapDistribution(p, 2) // cap = 0.5, nothing exceeds
+	for i := range p {
+		if math.Abs(q[i]-0.25) > 1e-12 {
+			t.Fatalf("q = %v", q)
+		}
+	}
+}
+
+func TestCapDistributionNormalizes(t *testing.T) {
+	p := []float64{2, 2, 2, 2} // unnormalized input
+	q := CapDistribution(p, 2)
+	if math.Abs(sum(q)-1) > 1e-12 {
+		t.Fatalf("sum = %v", sum(q))
+	}
+}
+
+func TestCapDistributionPinsHeavyComponent(t *testing.T) {
+	p := []float64{0.9, 0.05, 0.05}
+	q := CapDistribution(p, 2) // cap = 0.5
+	if math.Abs(q[0]-0.5) > 1e-12 {
+		t.Fatalf("q[0] = %v, want 0.5", q[0])
+	}
+	if math.Abs(sum(q)-1) > 1e-12 {
+		t.Fatalf("sum = %v", sum(q))
+	}
+	// Remaining mass split proportionally between the two equal tails.
+	if math.Abs(q[1]-0.25) > 1e-12 || math.Abs(q[2]-0.25) > 1e-12 {
+		t.Fatalf("q = %v", q)
+	}
+}
+
+func TestCapDistributionDegenerateMass(t *testing.T) {
+	// All mass on one option: the cap forces spreading over zero-weight
+	// options.
+	q := CapDistribution([]float64{1, 0, 0}, 2)
+	if math.Abs(q[0]-0.5) > 1e-12 {
+		t.Fatalf("q[0] = %v", q[0])
+	}
+	if math.Abs(sum(q)-1) > 1e-12 {
+		t.Fatalf("sum = %v (q=%v)", sum(q), q)
+	}
+	for i, v := range q {
+		if v > 0.5+1e-12 {
+			t.Fatalf("q[%d] = %v exceeds cap", i, v)
+		}
+	}
+}
+
+func TestCapDistributionFullSlate(t *testing.T) {
+	// n == k: every option must get exactly 1/k.
+	q := CapDistribution([]float64{5, 1, 1, 1}, 4)
+	for i, v := range q {
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Fatalf("q[%d] = %v, want 0.25", i, v)
+		}
+	}
+}
+
+func TestCapDistributionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n too big":  func() { CapDistribution([]float64{1, 1}, 3) },
+		"n zero":     func() { CapDistribution([]float64{1, 1}, 0) },
+		"negative":   func() { CapDistribution([]float64{1, -1}, 1) },
+		"zero total": func() { CapDistribution([]float64{0, 0}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickCapInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw)%50 + 1
+		n := int(nRaw)%k + 1
+		r := rng.New(seed)
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = r.Float64() * 10
+		}
+		p[r.Intn(k)] += 5 // ensure positive total and some skew
+		q := CapDistribution(p, n)
+		if math.Abs(sum(q)-1) > 1e-9 {
+			return false
+		}
+		capVal := 1.0 / float64(n)
+		for _, v := range q {
+			if v < -1e-12 || v > capVal+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeReconstructs(t *testing.T) {
+	p := []float64{0.4, 0.3, 0.2, 0.1}
+	n := 2
+	q := CapDistribution(p, n)
+	v := make([]float64, len(q))
+	for i := range q {
+		v[i] = float64(n) * q[i]
+	}
+	comps := Decompose(v, n)
+	got := Reconstruct(comps, len(v))
+	for i := range v {
+		if math.Abs(got[i]-v[i]) > 1e-6 {
+			t.Fatalf("reconstruct[%d] = %v, want %v (comps=%v)", i, got[i], v[i], comps)
+		}
+	}
+}
+
+func TestDecomposeCoefficientsSumToOne(t *testing.T) {
+	v := []float64{1, 0.5, 0.5} // sum = 2 = n·1
+	comps := Decompose(v, 2)
+	total := 0.0
+	for _, c := range comps {
+		total += c.Coeff
+		if len(c.Slate) != 2 {
+			t.Fatalf("slate size %d", len(c.Slate))
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("coefficients sum to %v", total)
+	}
+}
+
+func TestDecomposeSlatesAreDistinctIndices(t *testing.T) {
+	v := []float64{0.9, 0.9, 0.9, 0.3} // sum = 3 = n·1, n = 3
+	for _, c := range Decompose(v, 3) {
+		seen := map[int]bool{}
+		for _, i := range c.Slate {
+			if i < 0 || i >= 4 || seen[i] {
+				t.Fatalf("invalid slate %v", c.Slate)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestDecomposeAtMostKComponents(t *testing.T) {
+	r := rng.New(11)
+	k, n := 40, 7
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = r.Float64() + 0.01
+	}
+	q := CapDistribution(p, n)
+	v := make([]float64, k)
+	for i := range q {
+		v[i] = float64(n) * q[i]
+	}
+	comps := Decompose(v, n)
+	if len(comps) > k {
+		t.Fatalf("decomposition used %d components for k=%d", len(comps), k)
+	}
+}
+
+func TestDecomposeFullSlate(t *testing.T) {
+	v := []float64{1, 1, 1}
+	comps := Decompose(v, 3)
+	if len(comps) != 1 || math.Abs(comps[0].Coeff-1) > 1e-12 {
+		t.Fatalf("comps = %v", comps)
+	}
+}
+
+func TestDecomposePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"component exceeds mass": func() { Decompose([]float64{1.5, 0.5}, 2) },
+		"zero mass":              func() { Decompose([]float64{0, 0}, 1) },
+		"bad n":                  func() { Decompose([]float64{1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickDecomposeReconstruction(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw)%30 + 2
+		n := int(nRaw)%k + 1
+		r := rng.New(seed)
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = r.Float64() + 1e-3
+		}
+		q := CapDistribution(p, n)
+		v := make([]float64, k)
+		for i := range q {
+			v[i] = float64(n) * q[i]
+		}
+		comps := Decompose(v, n)
+		got := Reconstruct(comps, k)
+		for i := range v {
+			if math.Abs(got[i]-v[i]) > 1e-6 {
+				return false
+			}
+		}
+		total := 0.0
+		for _, c := range comps {
+			if c.Coeff <= 0 {
+				return false
+			}
+			total += c.Coeff
+		}
+		return math.Abs(total-1) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleSlateMarginals(t *testing.T) {
+	// Empirical inclusion frequency of each option must match n·q_i.
+	r := rng.New(13)
+	w := []float64{5, 3, 1, 1}
+	n := 2
+	const trials = 40000
+	counts := make([]float64, len(w))
+	var q []float64
+	for i := 0; i < trials; i++ {
+		var s Slate
+		s, q = SampleSlate(w, n, r)
+		if len(s) != n {
+			t.Fatalf("slate size %d", len(s))
+		}
+		for _, j := range s {
+			counts[j]++
+		}
+	}
+	for i := range w {
+		want := float64(n) * q[i]
+		got := counts[i] / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("option %d inclusion %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleSlateDistinct(t *testing.T) {
+	r := rng.New(17)
+	w := []float64{1, 1, 1, 1, 1}
+	for i := 0; i < 1000; i++ {
+		s, _ := SampleSlate(w, 3, r)
+		seen := map[int]bool{}
+		for _, j := range s {
+			if seen[j] {
+				t.Fatalf("duplicate option in slate %v", s)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestSampleSlateHeavyOptionAlwaysIncluded(t *testing.T) {
+	// An option holding ≥ 1/n of capped mass is pinned at the cap, so its
+	// marginal inclusion probability is exactly 1.
+	r := rng.New(19)
+	w := []float64{100, 1, 1, 1}
+	for i := 0; i < 500; i++ {
+		s, _ := SampleSlate(w, 2, r)
+		found := false
+		for _, j := range s {
+			if j == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("pinned option missing from slate")
+		}
+	}
+}
+
+func BenchmarkDecompose1000x16(b *testing.B) {
+	// The paper's motivating instance: k=1000 options, slate of 16.
+	r := rng.New(1)
+	k, n := 1000, 16
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = r.Float64() + 1e-3
+	}
+	q := CapDistribution(p, n)
+	v := make([]float64, k)
+	for i := range q {
+		v[i] = float64(n) * q[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Decompose(v, n)
+	}
+}
+
+func BenchmarkSampleSlate(b *testing.B) {
+	r := rng.New(2)
+	k, n := 256, 16
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = r.Float64() + 1e-3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = SampleSlate(w, n, r)
+	}
+}
+
+func TestSystematicSampleDistinctAndSized(t *testing.T) {
+	r := rng.New(21)
+	v := []float64{0.9, 0.7, 0.2, 0.1, 0.1} // sums to 2
+	for i := 0; i < 500; i++ {
+		s := SystematicSample(v, 2, r)
+		if len(s) != 2 {
+			t.Fatalf("slate size %d", len(s))
+		}
+		if s[0] == s[1] {
+			t.Fatalf("duplicate option in %v", s)
+		}
+	}
+}
+
+func TestSystematicSampleMarginals(t *testing.T) {
+	r := rng.New(23)
+	v := []float64{0.9, 0.7, 0.2, 0.1, 0.1}
+	const trials = 50000
+	counts := make([]float64, len(v))
+	for i := 0; i < trials; i++ {
+		for _, j := range SystematicSample(v, 2, r) {
+			counts[j]++
+		}
+	}
+	for i := range v {
+		got := counts[i] / trials
+		if math.Abs(got-v[i]) > 0.01 {
+			t.Fatalf("option %d inclusion %v, want %v", i, got, v[i])
+		}
+	}
+}
+
+func TestSystematicSampleMatchesDecompositionMarginals(t *testing.T) {
+	// Both samplers must realize the same per-option inclusion
+	// probabilities for the same marginal vector.
+	r := rng.New(29)
+	k, n := 12, 4
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = r.Float64() + 0.05
+	}
+	q := CapDistribution(p, n)
+	v := make([]float64, k)
+	for i := range q {
+		v[i] = float64(n) * q[i]
+	}
+	const trials = 30000
+	sysCounts := make([]float64, k)
+	decCounts := make([]float64, k)
+	rs, rd := rng.New(31), rng.New(37)
+	comps := Decompose(v, n)
+	coeffs := make([]float64, len(comps))
+	for i, c := range comps {
+		coeffs[i] = c.Coeff
+	}
+	for i := 0; i < trials; i++ {
+		for _, j := range SystematicSample(v, n, rs) {
+			sysCounts[j]++
+		}
+		for _, j := range comps[rd.Categorical(coeffs)].Slate {
+			decCounts[j]++
+		}
+	}
+	for i := 0; i < k; i++ {
+		a, b := sysCounts[i]/trials, decCounts[i]/trials
+		if math.Abs(a-b) > 0.015 {
+			t.Fatalf("option %d: systematic %v vs decomposition %v", i, a, b)
+		}
+	}
+}
+
+func TestSystematicSamplePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad sum":  func() { SystematicSample([]float64{0.5, 0.5}, 2, rng.New(1)) },
+		"over one": func() { SystematicSample([]float64{1.5, 0.5}, 2, rng.New(1)) },
+		"bad n":    func() { SystematicSample([]float64{1}, 2, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSystematicSample16384(b *testing.B) {
+	r := rng.New(41)
+	k := 16384
+	n := 820
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = r.Float64() + 1e-3
+	}
+	q := CapDistribution(p, n)
+	v := make([]float64, k)
+	for i := range q {
+		v[i] = float64(n) * q[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SystematicSample(v, n, r)
+	}
+}

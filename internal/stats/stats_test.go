@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEq(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestSummaryNumericalStability(t *testing.T) {
+	// Large offset with small variance: naive sum-of-squares loses all
+	// precision here; Welford must not.
+	var s Summary
+	const offset = 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(offset + float64(i%2)) // values: 1e9 and 1e9+1
+	}
+	if !almostEq(s.Variance(), 0.25025, 1e-3) {
+		t.Fatalf("variance = %v, want ~0.2503", s.Variance())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64()*10 + 3
+	}
+	var whole Summary
+	whole.AddAll(xs)
+	var a, b Summary
+	a.AddAll(xs[:123])
+	b.AddAll(xs[123:])
+	a.Merge(&b)
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) || !almostEq(a.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merge mismatch: %v/%v vs %v/%v", a.Mean(), a.Variance(), whole.Mean(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() || a.N() != whole.N() {
+		t.Fatal("merge min/max/n mismatch")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	b.Add(4)
+	a.Merge(&b) // empty <- nonempty
+	if a.N() != 1 || a.Mean() != 4 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Summary
+	a.Merge(&c) // nonempty <- empty
+	if a.N() != 1 || a.Mean() != 4 {
+		t.Fatal("merge of empty changed summary")
+	}
+}
+
+func TestQuickMergeAssociativity(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		r := rng.New(seed)
+		n := 100
+		k := int(cut)%n + 1
+		var whole, left, right Summary
+		for i := 0; i < n; i++ {
+			x := r.Float64() * 100
+			whole.Add(x)
+			if i < k {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(&right)
+		return almostEq(left.Mean(), whole.Mean(), 1e-8) &&
+			almostEq(left.Variance(), whole.Variance(), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+}
+
+func TestArgMaxMin(t *testing.T) {
+	xs := []float64{3, 9, 9, 1}
+	if ArgMax(xs) != 1 {
+		t.Fatalf("ArgMax = %d", ArgMax(xs))
+	}
+	if ArgMin(xs) != 3 {
+		t.Fatalf("ArgMin = %d", ArgMin(xs))
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty ArgMax/ArgMin should be -1")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := Normalize([]float64{1, 3})
+	if !almostEq(xs[0], 0.25, 1e-12) || !almostEq(xs[1], 0.75, 1e-12) {
+		t.Fatalf("Normalize = %v", xs)
+	}
+}
+
+func TestNormalizePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize([]float64{0, 0})
+}
+
+func TestQuickNormalizeSumsToOne(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() + 1e-9
+		}
+		Normalize(xs)
+		return almostEq(Sum(xs), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(42)
+	}
+	h.Add(7)
+	if m := h.Mode(); !almostEq(m, 45, 1e-12) {
+		t.Fatalf("mode = %v, want 45 (midpoint of [40,50))", m)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{1, 2, 3})
+	if got := s.String(); got != "2.0 (1.0)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almostEq(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatal("StdDev wrong")
+	}
+}

@@ -1,0 +1,374 @@
+// Package testsuite provides regression test suites for TinyLang programs
+// and the machinery APR needs around them: pass/fail evaluation, fitness,
+// coverage tracing (mutations are restricted to covered lines, Sec. III of
+// the paper), result caching keyed by program identity (identical mutants
+// are common and the paper notes their repeated evaluation as a cost), and
+// a fitness-evaluation counter — the cost currency of the paper's
+// Sec. IV-G comparison.
+package testsuite
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+)
+
+// Test is one test case: an input vector and the expected output vector.
+type Test struct {
+	// Name identifies the test in reports.
+	Name string
+	// Input is the value queue consumed by the program's input statements.
+	Input []int64
+	// Want is the exact expected output sequence.
+	Want []int64
+	// MaxSteps bounds execution for this test; 0 means the interpreter
+	// default. Scenario suites set a tight bound so mutants with
+	// accidental infinite loops fail fast.
+	MaxSteps int
+}
+
+// Suite is a regression test suite plus the bug-inducing tests that expose
+// the defect under repair. The original (defective) program passes all
+// Positive tests and fails at least one Negative test; a repair passes
+// both sets.
+type Suite struct {
+	// Positive are the required regression tests.
+	Positive []Test
+	// Negative are the bug-inducing tests.
+	Negative []Test
+}
+
+// All returns positive tests followed by negative tests.
+func (s *Suite) All() []Test {
+	out := make([]Test, 0, len(s.Positive)+len(s.Negative))
+	out = append(out, s.Positive...)
+	out = append(out, s.Negative...)
+	return out
+}
+
+// Size returns the total number of tests |S|.
+func (s *Suite) Size() int { return len(s.Positive) + len(s.Negative) }
+
+// RunTest executes one test: it passes iff the program runs without a
+// runtime error and produces exactly the expected output.
+func RunTest(p *lang.Program, tc Test) bool {
+	res := lang.Run(p, lang.Options{Input: tc.Input, MaxSteps: tc.MaxSteps})
+	if res.Err != nil {
+		return false
+	}
+	if len(res.Output) != len(tc.Want) {
+		return false
+	}
+	for i := range tc.Want {
+		if res.Output[i] != tc.Want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fitness is the outcome of evaluating a program on a suite.
+type Fitness struct {
+	// PosPassed counts passing positive (regression) tests.
+	PosPassed int
+	// NegPassed counts passing negative (bug-inducing) tests.
+	NegPassed int
+	// PosTotal and NegTotal record the suite sizes for ratio reporting.
+	PosTotal, NegTotal int
+}
+
+// Passed returns the total number of passing tests f(P,S).
+func (f Fitness) Passed() int { return f.PosPassed + f.NegPassed }
+
+// Safe reports whether all positive tests pass — the paper's definition of
+// a safe program variant (required functionality retained).
+func (f Fitness) Safe() bool { return f.PosPassed == f.PosTotal }
+
+// Repair reports whether the program passes the full suite, i.e.
+// f(P,S) = |S|: a repair.
+func (f Fitness) Repair() bool {
+	return f.PosPassed == f.PosTotal && f.NegPassed == f.NegTotal
+}
+
+// Weighted returns the GenProg-style weighted fitness used by the search
+// baselines: positive tests weight 1, negative tests weight wNeg (GenProg
+// uses 10).
+func (f Fitness) Weighted(wNeg float64) float64 {
+	return float64(f.PosPassed) + wNeg*float64(f.NegPassed)
+}
+
+func (f Fitness) String() string {
+	return fmt.Sprintf("%d/%d pos, %d/%d neg", f.PosPassed, f.PosTotal, f.NegPassed, f.NegTotal)
+}
+
+// Runner evaluates programs against a fixed suite with memoization and
+// evaluation counting. It is safe for concurrent use: MWRepair and the
+// baselines evaluate many mutants in parallel goroutines.
+type Runner struct {
+	suite *Suite
+
+	mu           sync.Mutex
+	cache        map[uint64]Fitness
+	safeCache    map[uint64]bool
+	outcomeCache map[uint64]outcome
+
+	evals     atomic.Int64 // fitness evaluations actually executed
+	cacheHits atomic.Int64
+}
+
+// NewRunner creates a runner over the suite.
+func NewRunner(s *Suite) *Runner {
+	return &Runner{suite: s, cache: make(map[uint64]Fitness)}
+}
+
+// Suite returns the underlying suite.
+func (r *Runner) Suite() *Suite { return r.suite }
+
+// programKey hashes the program's canonical text — two mutants that
+// serialize identically are the same program.
+func programKey(p *lang.Program) uint64 {
+	h := fnv.New64a()
+	for _, s := range p.Stmts {
+		h.Write([]byte(s.String()))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// Eval evaluates the program on the full suite, counting one fitness
+// evaluation (cache hits are free, mirroring the paper's observation that
+// duplicate mutants add avoidable cost when not deduplicated).
+func (r *Runner) Eval(p *lang.Program) Fitness {
+	key := programKey(p)
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return f
+	}
+	r.mu.Unlock()
+
+	f := r.evalUncached(p)
+	r.evals.Add(1)
+
+	r.mu.Lock()
+	r.cache[key] = f
+	r.mu.Unlock()
+	return f
+}
+
+// EvalNoCache evaluates the program without consulting or populating the
+// cache (used by ablations quantifying the cache's value).
+func (r *Runner) EvalNoCache(p *lang.Program) Fitness {
+	f := r.evalUncached(p)
+	r.evals.Add(1)
+	return f
+}
+
+func (r *Runner) evalUncached(p *lang.Program) Fitness {
+	f := Fitness{PosTotal: len(r.suite.Positive), NegTotal: len(r.suite.Negative)}
+	for _, tc := range r.suite.Positive {
+		if RunTest(p, tc) {
+			f.PosPassed++
+		}
+	}
+	for _, tc := range r.suite.Negative {
+		if RunTest(p, tc) {
+			f.NegPassed++
+		}
+	}
+	return f
+}
+
+// Safe reports whether the program passes every positive test, stopping
+// at the first failure. It shares the runner's cache when a full fitness
+// is already known and keeps its own short-circuit cache otherwise; a
+// short-circuited check counts as one fitness evaluation (the test suite
+// was run, just not to completion).
+func (r *Runner) Safe(p *lang.Program) bool {
+	key := programKey(p)
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return f.Safe()
+	}
+	if safe, ok := r.safeCache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return safe
+	}
+	r.mu.Unlock()
+
+	safe := true
+	for _, tc := range r.suite.Positive {
+		if !RunTest(p, tc) {
+			safe = false
+			break
+		}
+	}
+	r.evals.Add(1)
+	r.mu.Lock()
+	if r.safeCache == nil {
+		r.safeCache = make(map[uint64]bool)
+	}
+	r.safeCache[key] = safe
+	r.mu.Unlock()
+	return safe
+}
+
+// Evals returns the number of fitness evaluations executed (excluding
+// cache hits) — the Sec. IV-G cost metric.
+func (r *Runner) Evals() int64 { return r.evals.Load() }
+
+// CacheHits returns the number of evaluations avoided by deduplication.
+func (r *Runner) CacheHits() int64 { return r.cacheHits.Load() }
+
+// ResetCounters zeroes the evaluation counters (the cache is retained).
+func (r *Runner) ResetCounters() {
+	r.evals.Store(0)
+	r.cacheHits.Store(0)
+}
+
+// Outcome classifies the program with the minimum work the repair search
+// needs: Safe (all positive tests pass) and Repair (the full suite
+// passes), short-circuiting at the first failing test in each phase. For
+// the broken mutants that dominate high-composition probes this runs one
+// test instead of the whole suite. Results are cached alongside full
+// fitness (a cached Fitness answers Outcome directly) and a
+// short-circuited check counts as one fitness evaluation.
+func (r *Runner) Outcome(p *lang.Program) (safe, repair bool) {
+	key := programKey(p)
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return f.Safe(), f.Repair()
+	}
+	if o, ok := r.outcomeCache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return o.safe, o.repair
+	}
+	r.mu.Unlock()
+
+	safe = true
+	for _, tc := range r.suite.Positive {
+		if !RunTest(p, tc) {
+			safe = false
+			break
+		}
+	}
+	repair = safe
+	if safe {
+		for _, tc := range r.suite.Negative {
+			if !RunTest(p, tc) {
+				repair = false
+				break
+			}
+		}
+	}
+	r.evals.Add(1)
+	r.mu.Lock()
+	if r.outcomeCache == nil {
+		r.outcomeCache = make(map[uint64]outcome)
+	}
+	r.outcomeCache[key] = outcome{safe: safe, repair: repair}
+	r.mu.Unlock()
+	return safe, repair
+}
+
+// outcome is the cached result of an Outcome call.
+type outcome struct{ safe, repair bool }
+
+// EvalParallel evaluates the program with test cases fanned out across
+// workers goroutines. This is the parallelism the paper attributes to
+// earlier APR tools ("previous algorithms parallelized the evaluation of
+// a set of test cases on a single program"); MWRepair instead
+// parallelizes across candidate programs, but the primitive is provided
+// for comparison and for very large suites. Results are identical to
+// Eval and share its cache and counters.
+func (r *Runner) EvalParallel(p *lang.Program, workers int) Fitness {
+	if workers <= 1 || r.suite.Size() <= 1 {
+		return r.Eval(p)
+	}
+	key := programKey(p)
+	r.mu.Lock()
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		r.cacheHits.Add(1)
+		return f
+	}
+	r.mu.Unlock()
+
+	f := Fitness{PosTotal: len(r.suite.Positive), NegTotal: len(r.suite.Negative)}
+	type job struct {
+		tc  Test
+		neg bool
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var posPassed, negPassed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if RunTest(p, j.tc) {
+					if j.neg {
+						negPassed.Add(1)
+					} else {
+						posPassed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	for _, tc := range r.suite.Positive {
+		jobs <- job{tc: tc}
+	}
+	for _, tc := range r.suite.Negative {
+		jobs <- job{tc: tc, neg: true}
+	}
+	close(jobs)
+	wg.Wait()
+	f.PosPassed = int(posPassed.Load())
+	f.NegPassed = int(negPassed.Load())
+
+	r.evals.Add(1)
+	r.mu.Lock()
+	r.cache[key] = f
+	r.mu.Unlock()
+	return f
+}
+
+// Coverage returns, for each statement of p, whether any test in the
+// suite executes it. The paper restricts all mutations to lines executed
+// by the regression test suite; positive and negative tests both count,
+// matching fault-localization practice.
+func Coverage(p *lang.Program, s *Suite) []bool {
+	covered := make([]bool, p.Len())
+	for _, tc := range s.All() {
+		res := lang.Run(p, lang.Options{Input: tc.Input, Trace: true})
+		for i, c := range res.Coverage {
+			if c {
+				covered[i] = true
+			}
+		}
+	}
+	return covered
+}
+
+// CoveredIndices returns the indices of covered statements.
+func CoveredIndices(p *lang.Program, s *Suite) []int {
+	var out []int
+	for i, c := range Coverage(p, s) {
+		if c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
