@@ -1,0 +1,34 @@
+# Tier-1 verification plus the race detector and probe-path benchmarks.
+#
+#   make ci          vet + build + race-enabled tests (the full gate)
+#   make test        plain tier-1 tests (ROADMAP.md's definition)
+#   make race        go test -race ./...
+#   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-probe bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The probe-evaluation hot path: sharded cache-hit throughput vs the
+# single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,
+# and phase-1 pool precompute scaling. -benchtime 1x keeps it a smoke
+# check; raise it for real measurements.
+bench-probe:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache|BenchmarkPoolPrecompute' -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -8,6 +8,8 @@ package repro
 // replication counts; cmd/experiments produces the fully formatted tables.
 
 import (
+	"hash/fnv"
+	"sync"
 	"testing"
 
 	"repro/internal/bandit"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/lang"
 	"repro/internal/mutation"
 	"repro/internal/mwu"
 	"repro/internal/pool"
@@ -283,6 +286,129 @@ func BenchmarkAblationDedupCache(b *testing.B) {
 			mutant, _ := pl.ApplySample(1, r)
 			runner.EvalNoCache(mutant)
 		}
+	})
+}
+
+// singleMutexRunner replicates the seed Runner's cache design — one global
+// sync.Mutex in front of a plain map — as the ablation baseline for the
+// sharded cache. Misses fall through to an uncached evaluation, exactly
+// like the original.
+type singleMutexRunner struct {
+	runner *testsuite.Runner
+	mu     sync.Mutex
+	cache  map[uint64]testsuite.Fitness
+}
+
+func (m *singleMutexRunner) eval(p *lang.Program) testsuite.Fitness {
+	h := fnv.New64a()
+	for _, s := range p.Stmts {
+		h.Write([]byte(s.String()))
+		h.Write([]byte{'\n'})
+	}
+	key := h.Sum64()
+	m.mu.Lock()
+	if f, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		return f
+	}
+	m.mu.Unlock()
+	f := m.runner.EvalNoCache(p)
+	m.mu.Lock()
+	m.cache[key] = f
+	m.mu.Unlock()
+	return f
+}
+
+// BenchmarkRunnerCacheHitThroughput measures parallel cache-hit throughput
+// — the online loop's hot path once the mutant population stabilizes — for
+// the sharded RWMutex cache against the previous single-mutex design. The
+// workload is 8 goroutines hitting a fully warmed cache of small mutants;
+// per-op suite cost is negligible, so the numbers isolate lock contention.
+func BenchmarkRunnerCacheHitThroughput(b *testing.B) {
+	const mutants = 128
+	const workers = 8
+	programs := make([]*lang.Program, mutants)
+	for i := range programs {
+		programs[i] = lang.MustParse("print " + itoa(i) + "\n")
+	}
+	suite := &testsuite.Suite{Positive: []testsuite.Test{{Name: "p", Want: []int64{0}}}}
+
+	bench := func(b *testing.B, eval func(*lang.Program) testsuite.Fitness) {
+		for _, p := range programs {
+			eval(p) // warm the cache: the measured loop is hits only
+		}
+		per := (b.N + workers - 1) / workers
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					eval(programs[(i*(w+2)+w)%mutants])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	b.Run("sharded", func(b *testing.B) {
+		r := testsuite.NewRunner(suite)
+		bench(b, r.Eval)
+	})
+	b.Run("mutex", func(b *testing.B) {
+		m := &singleMutexRunner{runner: testsuite.NewRunner(suite), cache: map[uint64]testsuite.Fitness{}}
+		bench(b, m.eval)
+	})
+}
+
+// BenchmarkRunnerDuplicateProbeThroughput measures the singleflight half
+// of the sharded cache's win: 8 workers probing the same fresh expensive
+// mutant simultaneously — the scenario where several MWU agents sample the
+// same arm and compose the same mutation set. The seed's check-then-
+// evaluate cache races and pays up to 8 full suite runs per round; the
+// sharded runner executes the suite once and the other workers join the
+// in-flight evaluation. Evaluation is made long enough (~10ms) that
+// workers genuinely overlap regardless of core count.
+func BenchmarkRunnerDuplicateProbeThroughput(b *testing.B) {
+	const workers = 8
+	// One long-running test (millions of interpreter steps) so a suite run
+	// spans scheduler preemption slices.
+	suite := &testsuite.Suite{Positive: []testsuite.Test{{
+		Name: "slow", Input: []int64{1500000}, Want: []int64{1500001}, MaxSteps: 15000000,
+	}}}
+	src := func(i int) string {
+		return "input n\nset i = " + itoa(i) + " - " + itoa(i) + "\nlabel loop\nif i > n goto done\nset i = i + 1\ngoto loop\nlabel done\nprint i\n"
+	}
+
+	bench := func(b *testing.B, eval func(*lang.Program) testsuite.Fitness) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := lang.MustParse(src(i)) // fresh program each round: all misses
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					eval(p)
+				}()
+			}
+			close(start)
+			wg.Wait()
+		}
+	}
+
+	b.Run("sharded", func(b *testing.B) {
+		r := testsuite.NewRunner(suite)
+		bench(b, r.Eval)
+		b.ReportMetric(float64(r.Evals())/float64(b.N), "suite-runs/round")
+	})
+	b.Run("mutex", func(b *testing.B) {
+		m := &singleMutexRunner{runner: testsuite.NewRunner(suite), cache: map[uint64]testsuite.Fitness{}}
+		bench(b, m.eval)
+		b.ReportMetric(float64(m.runner.Evals())/float64(b.N), "suite-runs/round")
 	})
 }
 

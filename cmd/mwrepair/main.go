@@ -107,10 +107,14 @@ func main() {
 	if !res.Repaired {
 		fmt.Printf("phase 2: NO repair found in %d iterations (%d probes, %d fitness evals, %v)\n",
 			res.Iterations, res.Probes, res.FitnessEvals, elapsed)
+		fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
+			res.CacheHits, res.DedupSuppressed, res.ShardContention)
 		os.Exit(1)
 	}
 	fmt.Printf("phase 2 (%s MWU): REPAIRED in %d iterations × %d agents (%d probes, %d fitness evals, %v)\n",
 		*alg, res.Iterations, res.Agents, res.Probes, res.FitnessEvals, elapsed)
+	fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
+		res.CacheHits, res.DedupSuppressed, res.ShardContention)
 	fmt.Printf("  learned composition size x* = %d\n", res.LearnedArm)
 	fmt.Printf("  patch (%d mutations):\n", len(res.Patch))
 	for _, m := range res.Patch {

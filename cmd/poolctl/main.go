@@ -52,8 +52,9 @@ func main() {
 		t0 := time.Now()
 		pl := sc.BuildPool(*workers, rng.New(*seed))
 		st := pl.Stats()
-		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe)\n",
-			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate())
+		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe, %d cache hits, %d dedup-suppressed)\n",
+			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate(),
+			st.CacheHits, st.DedupSuppressed)
 		save(pl, *out)
 
 	case *inspect:
@@ -62,6 +63,7 @@ func main() {
 		fmt.Printf("pool: %d safe mutations (program: %d statements)\n", pl.Size(), pl.Original().Len())
 		fmt.Printf("build stats: %d attempts, %d evaluated, %d duplicates skipped, safe rate %.0f%%\n",
 			st.Attempts, st.Evaluated, st.Duplicates, 100*st.SafeRate())
+		fmt.Printf("cache stats: %d hits, %d dedup-suppressed\n", st.CacheHits, st.DedupSuppressed)
 		byOp := map[mutation.Op]int{}
 		for _, m := range pl.Mutations() {
 			byOp[m.Op]++

@@ -65,6 +65,7 @@ func AE(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	}
 done:
 	res.FitnessEvals = pr.runner.Evals()
+	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
 	return res
 }

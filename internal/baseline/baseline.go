@@ -31,6 +31,9 @@ type Result struct {
 	Patch []mutation.Mutation
 	// FitnessEvals is the number of distinct test-suite executions.
 	FitnessEvals int64
+	// CacheHits counts candidate evaluations answered by the fitness
+	// cache (AE's adaptive-equivalence economy made explicit).
+	CacheHits int64
 	// CandidatesTried counts candidate patches considered (including
 	// duplicates resolved by the cache).
 	CandidatesTried int64

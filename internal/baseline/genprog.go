@@ -82,6 +82,7 @@ func GenProg(pr *Problem, seed *rng.RNG, cfg Config) Result {
 		pop = next
 	}
 	res.FitnessEvals = pr.runner.Evals()
+	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
 	return res
 }

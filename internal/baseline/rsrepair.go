@@ -29,6 +29,7 @@ func RSRepair(pr *Problem, seed *rng.RNG, cfg Config) Result {
 		}
 	}
 	res.FitnessEvals = pr.runner.Evals()
+	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
 	return res
 }

@@ -91,6 +91,16 @@ type Result struct {
 	// FitnessEvals is the number of distinct test-suite executions
 	// (deduplicated mutants are free), the Sec. IV-G cost currency.
 	FitnessEvals int64
+	// CacheHits is the number of probes answered by the fitness cache —
+	// evaluations avoided because an identical mutant was already known.
+	CacheHits int64
+	// DedupSuppressed is the subset of CacheHits avoided by singleflight
+	// deduplication: probes of a mutant whose evaluation was in flight on
+	// another worker at that moment.
+	DedupSuppressed int64
+	// ShardContention counts contended cache-shard lock acquisitions — an
+	// observability proxy for how hard the parallel probes hit the cache.
+	ShardContention int64
 	// LearnedArm is the composition size (x) the learner favoured at the
 	// end — the online estimate of the Fig. 4b optimum.
 	LearnedArm int
@@ -184,15 +194,24 @@ func Repair(pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rn
 	})
 
 	patch, mutant := oracle.repair()
+	// Mirror the runner's cache observability into the learner's metrics
+	// so cost reports built from Metrics alone can include it.
+	m := learner.Metrics()
+	m.CacheHits = runner.CacheHits()
+	m.DedupSuppressed = runner.DedupSuppressed()
+	m.ShardContention = runner.ShardContention()
 	res := Result{
-		Repaired:     patch != nil,
-		Patch:        patch,
-		Program:      mutant,
-		Iterations:   runRes.Iterations,
-		Probes:       learner.Metrics().Probes,
-		FitnessEvals: runner.Evals(),
-		LearnedArm:   runRes.Choice + 1,
-		Agents:       learner.Agents(),
+		Repaired:        patch != nil,
+		Patch:           patch,
+		Program:         mutant,
+		Iterations:      runRes.Iterations,
+		Probes:          m.Probes,
+		FitnessEvals:    runner.Evals(),
+		CacheHits:       m.CacheHits,
+		DedupSuppressed: m.DedupSuppressed,
+		ShardContention: m.ShardContention,
+		LearnedArm:      runRes.Choice + 1,
+		Agents:          learner.Agents(),
 	}
 	return res
 }

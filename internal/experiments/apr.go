@@ -60,11 +60,13 @@ type APRRow struct {
 	Scenario string
 	Language string // "C" or "Java"
 
-	MWRepaired     bool
-	MWIterations   int
-	MWFitnessEvals int64
-	MWLearnedArm   int
-	MWAgents       int
+	MWRepaired        bool
+	MWIterations      int
+	MWFitnessEvals    int64
+	MWCacheHits       int64
+	MWDedupSuppressed int64
+	MWLearnedArm      int
+	MWAgents          int
 
 	GenProg  baseline.Result
 	RSRepair baseline.Result
@@ -126,6 +128,8 @@ func RunAPR(spec APRSpec) (*APRSummary, error) {
 		row.MWRepaired = mwRes.Repaired
 		row.MWIterations = mwRes.Iterations
 		row.MWFitnessEvals = mwRes.FitnessEvals
+		row.MWCacheHits = mwRes.CacheHits
+		row.MWDedupSuppressed = mwRes.DedupSuppressed
 		row.MWLearnedArm = mwRes.LearnedArm
 		row.MWAgents = mwRes.Agents
 
@@ -168,7 +172,7 @@ func RenderAPR(s *APRSummary) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Sec. IV-G — MWRepair vs search-based APR baselines")
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Scenario\tLang\tMWRepair\titers\tevals\tx*\tGenProg\tevals\tRSRepair\tevals\tAE\tevals")
+	fmt.Fprintln(w, "Scenario\tLang\tMWRepair\titers\tevals\thits\tx*\tGenProg\tevals\tRSRepair\tevals\tAE\tevals")
 	mark := func(ok bool) string {
 		if ok {
 			return "✓"
@@ -176,9 +180,9 @@ func RenderAPR(s *APRSummary) string {
 		return "✗"
 	}
 	for _, r := range s.Rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%s\t%d\n",
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%s\t%d\n",
 			r.Scenario, r.Language,
-			mark(r.MWRepaired), r.MWIterations, r.MWFitnessEvals, r.MWLearnedArm,
+			mark(r.MWRepaired), r.MWIterations, r.MWFitnessEvals, r.MWCacheHits, r.MWLearnedArm,
 			mark(r.GenProg.Repaired), r.GenProg.FitnessEvals,
 			mark(r.RSRepair.Repaired), r.RSRepair.FitnessEvals,
 			mark(r.AE.Repaired), r.AE.FitnessEvals)

@@ -81,6 +81,7 @@ func TestEvaluatorSlotStreamsStable(t *testing.T) {
 	}}
 	mk := func(sizes []int) [][]float64 {
 		ev := newEvaluator(o, rng.New(7), 2)
+		defer ev.close()
 		var out [][]float64
 		for _, n := range sizes {
 			arms := make([]int, n)

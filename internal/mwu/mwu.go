@@ -52,7 +52,9 @@ type Learner interface {
 	Sample() []int
 	// Update consumes the rewards observed for the assignment returned by
 	// the immediately preceding Sample call (rewards[i] ∈ {0,1} is the
-	// outcome for arms[i]).
+	// outcome for arms[i]). The rewards slice is freshly allocated for
+	// each cycle and ownership passes to the learner: retaining it is
+	// safe, it is never overwritten by a later iteration.
 	Update(arms []int, rewards []float64)
 	// Leader returns the option the learner currently considers best
 	// (highest weight, or most popular for Distributed).
@@ -89,6 +91,15 @@ type Metrics struct {
 	// (Table I "memory overhead"): k for Standard/Slate, O(1) for
 	// Distributed.
 	MemoryFloats int
+	// CacheHits, DedupSuppressed and ShardContention mirror the fitness
+	// cache's observability when the oracle is backed by a
+	// testsuite.Runner: probes answered from cache, probes suppressed by
+	// in-flight deduplication, and contended cache-shard acquisitions.
+	// They are filled in by drivers that own the runner (core.Repair);
+	// synthetic bandit oracles leave them zero.
+	CacheHits       int64
+	DedupSuppressed int64
+	ShardContention int64
 }
 
 // MeanCongestion returns the average per-iteration congestion.
@@ -125,7 +136,10 @@ type RunConfig struct {
 	Workers int
 	// OnIteration, if non-nil, runs after each update cycle with the
 	// completed iteration count; returning true stops the run early
-	// (MWRepair's early termination hooks in here).
+	// (MWRepair's early termination hooks in here). It runs on every
+	// completed cycle — including the one on which the learner converges —
+	// so an early-stop condition met on the converging cycle is still
+	// reported via Stopped.
 	OnIteration func(iter int, l Learner) bool
 }
 
@@ -142,7 +156,9 @@ type RunResult struct {
 	LeaderProb float64
 	// CPUIterations is iterations × agents (Table IV).
 	CPUIterations int64
-	// Stopped reports whether OnIteration ended the run.
+	// Stopped reports whether OnIteration asked to end the run. Stopped
+	// and Converged are independent: both are true when the stop
+	// condition and the convergence criterion are met on the same cycle.
 	Stopped bool
 }
 
@@ -160,6 +176,7 @@ func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ev := newEvaluator(o, seed, workers)
+	defer ev.close()
 
 	res := RunResult{}
 	for t := 1; t <= cfg.MaxIter; t++ {
@@ -167,12 +184,17 @@ func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
 		rewards := ev.probeAll(arms)
 		l.Update(arms, rewards)
 		res.Iterations = t
-		if l.Converged() {
-			res.Converged = true
-			break
-		}
+		// The stop callback is evaluated before the convergence check so
+		// that a stop condition met on the converging cycle (e.g. MWRepair
+		// finding a repair, Fig. 6's early return) is not masked by
+		// Converged; both flags are reported when both hold.
 		if cfg.OnIteration != nil && cfg.OnIteration(t, l) {
 			res.Stopped = true
+		}
+		if l.Converged() {
+			res.Converged = true
+		}
+		if res.Stopped || res.Converged {
 			break
 		}
 	}
@@ -185,14 +207,31 @@ func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
 // evaluator owns the parallel probe fan-out. Each evaluator slot (agent
 // index) has a dedicated RNG stream created once up front; rewards
 // therefore depend only on (slot, call sequence), never on goroutine
-// interleaving.
+// interleaving or worker count.
+//
+// The worker goroutines are persistent: they are started lazily on the
+// first parallel probeAll and live until close, so the per-iteration cost
+// of the online loop is a channel send per chunk rather than a goroutine
+// spawn per chunk (the hot path runs for thousands of update cycles).
 type evaluator struct {
 	oracle  bandit.Oracle
 	workers int
 	seed    *rng.RNG
 	streams []*rng.RNG
+
+	// Round state shared with the persistent workers. arms and rewards
+	// are set before jobs are dispatched and read only between wg.Add and
+	// wg.Wait, so the channel send/receive and WaitGroup edges order every
+	// access. rewards is freshly allocated per round: ownership of the
+	// returned slice passes to the caller (see Learner.Update).
+	arms    []int
 	rewards []float64
+	jobs    chan probeChunk
+	wg      sync.WaitGroup
 }
+
+// probeChunk is a half-open slot range [lo, hi) assigned to one worker.
+type probeChunk struct{ lo, hi int }
 
 func newEvaluator(o bandit.Oracle, seed *rng.RNG, workers int) *evaluator {
 	return &evaluator{oracle: o, workers: workers, seed: seed}
@@ -203,42 +242,66 @@ func (e *evaluator) ensure(n int) {
 	for len(e.streams) < n {
 		e.streams = append(e.streams, e.seed.Split())
 	}
-	if cap(e.rewards) < n {
-		e.rewards = make([]float64, n)
+}
+
+// start launches the persistent worker pool. Workers range over a local
+// copy of the jobs channel: close() nils the struct field, and a worker
+// that never received a job may only reach its range statement after that
+// write.
+func (e *evaluator) start() {
+	e.jobs = make(chan probeChunk)
+	jobs := e.jobs
+	for w := 0; w < e.workers; w++ {
+		go func() {
+			for c := range jobs {
+				for i := c.lo; i < c.hi; i++ {
+					e.rewards[i] = e.oracle.Probe(e.arms[i], e.streams[i])
+				}
+				e.wg.Done()
+			}
+		}()
 	}
-	e.rewards = e.rewards[:n]
+}
+
+// close shuts the worker pool down. Safe to call when no pool was started
+// and idempotent.
+func (e *evaluator) close() {
+	if e.jobs != nil {
+		close(e.jobs)
+		e.jobs = nil
+	}
 }
 
 // probeAll evaluates arms[i] with slot i's stream, in parallel. The
-// returned slice is reused across calls.
+// returned slice is freshly allocated each call; the caller owns it.
 func (e *evaluator) probeAll(arms []int) []float64 {
 	n := len(arms)
 	e.ensure(n)
+	rewards := make([]float64, n)
 	if e.workers == 1 || n == 1 {
 		for i, a := range arms {
-			e.rewards[i] = e.oracle.Probe(a, e.streams[i])
+			rewards[i] = e.oracle.Probe(a, e.streams[i])
 		}
-		return e.rewards
+		return rewards
 	}
+	if e.jobs == nil {
+		e.start()
+	}
+	e.arms = arms
+	e.rewards = rewards
 	w := e.workers
 	if w > n {
 		w = n
 	}
 	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				e.rewards[i] = e.oracle.Probe(arms[i], e.streams[i])
-			}
-		}(start, end)
+		e.wg.Add(1)
+		e.jobs <- probeChunk{lo: start, hi: end}
 	}
-	wg.Wait()
-	return e.rewards
+	e.wg.Wait()
+	return rewards
 }

@@ -47,6 +47,13 @@ type Stats struct {
 	// the repeated-generation waste the paper attributes to on-the-fly
 	// approaches.
 	Duplicates int
+	// CacheHits and DedupSuppressed are the evaluation runner's cache
+	// observability for the build (or revalidation): safety checks
+	// answered from the fitness cache, and checks suppressed because an
+	// identical mutant's evaluation was already in flight on another
+	// worker.
+	CacheHits       int64
+	DedupSuppressed int64
 }
 
 // SafeRate returns the fraction of evaluated candidates that were safe
@@ -60,7 +67,11 @@ func (s Stats) SafeRate() float64 {
 
 // Config controls precomputation.
 type Config struct {
-	// Target is the desired pool size.
+	// Target is the desired pool size. It caps candidate generation, not
+	// retention: generation stops once the pool reaches Target, but every
+	// safe candidate of the final evaluated batch is kept (their
+	// evaluations are already paid for), so the pool may exceed Target by
+	// up to one batch.
 	Target int
 	// MaxAttempts bounds candidate generation; 0 means 200 × Target.
 	MaxAttempts int
@@ -103,6 +114,22 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 		m    mutation.Mutation
 		safe bool
 	}
+	// Persistent safety-evaluation workers for the whole build: candidate
+	// batches are dispatched over a channel instead of spawning a
+	// goroutine per candidate per batch.
+	jobs := make(chan *cand)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		go func() {
+			for c := range jobs {
+				mutant := mutation.Apply(p, []mutation.Mutation{c.m})
+				c.safe = runner.Safe(mutant)
+				wg.Done()
+			}
+		}()
+	}
+	defer close(jobs)
+
 	for pl.stats.Attempts < cfg.MaxAttempts && len(pl.mutations) < cfg.Target {
 		// Sequential, deterministic candidate generation.
 		batch := make([]cand, 0, batchSize)
@@ -120,28 +147,25 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 			break
 		}
 		// Parallel, expensive safety evaluation.
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Workers)
+		wg.Add(len(batch))
 		for i := range batch {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(c *cand) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				mutant := mutation.Apply(p, []mutation.Mutation{c.m})
-				c.safe = runner.Safe(mutant)
-			}(&batch[i])
+			jobs <- &batch[i]
 		}
 		wg.Wait()
 		pl.stats.Evaluated += len(batch)
-		// Deterministic append in generation order.
+		// Deterministic append in generation order. Every safe candidate
+		// is retained — its evaluation is already paid for — even when the
+		// final batch overshoots Target; only generation is capped by the
+		// loop condition above.
 		for _, c := range batch {
-			if c.safe && len(pl.mutations) < cfg.Target {
+			if c.safe {
 				pl.mutations = append(pl.mutations, c.m)
 			}
 		}
 	}
 	pl.stats.Safe = len(pl.mutations)
+	pl.stats.CacheHits = runner.CacheHits()
+	pl.stats.DedupSuppressed = runner.DedupSuppressed()
 	return pl
 }
 
@@ -228,18 +252,22 @@ func (pl *Pool) Revalidate(suite *testsuite.Suite, workers int) int {
 	posSuite := &testsuite.Suite{Positive: suite.Positive}
 	runner := testsuite.NewRunner(posSuite)
 	keep := make([]bool, len(pl.mutations))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range pl.mutations {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			mutant := mutation.Apply(pl.original, []mutation.Mutation{pl.mutations[i]})
-			keep[i] = runner.Safe(mutant)
-		}(i)
+	wg.Add(len(pl.mutations))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				mutant := mutation.Apply(pl.original, []mutation.Mutation{pl.mutations[i]})
+				keep[i] = runner.Safe(mutant)
+				wg.Done()
+			}
+		}()
 	}
+	for i := range pl.mutations {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	var kept []mutation.Mutation
 	for i, k := range keep {
@@ -250,6 +278,8 @@ func (pl *Pool) Revalidate(suite *testsuite.Suite, workers int) int {
 	removed := len(pl.mutations) - len(kept)
 	pl.mutations = kept
 	pl.stats.Safe = len(kept)
+	pl.stats.CacheHits = runner.CacheHits()
+	pl.stats.DedupSuppressed = runner.DedupSuppressed()
 	return removed
 }
 

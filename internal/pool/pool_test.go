@@ -51,11 +51,41 @@ func TestPrecomputeFindsSafeMutations(t *testing.T) {
 	}
 }
 
-func TestPrecomputeRespectsTarget(t *testing.T) {
+func TestPrecomputeCapsGenerationAtTarget(t *testing.T) {
+	// Target caps candidate generation, not retention: generation stops
+	// once the pool reaches the target, so the pool holds at least Target
+	// safe mutations (when attainable) and overshoots by at most the safe
+	// members of the final 64-candidate batch.
 	p := lang.MustParse(src)
 	pl := Precompute(p, suite(), Config{Target: 5, Workers: 2}, rng.New(2))
-	if pl.Size() > 5 {
-		t.Fatalf("pool size %d exceeds target", pl.Size())
+	if pl.Size() < 5 {
+		t.Fatalf("pool size %d below attainable target 5", pl.Size())
+	}
+	if pl.Size() >= 5+64 {
+		t.Fatalf("pool size %d: generation not capped at target", pl.Size())
+	}
+}
+
+func TestPrecomputeKeepsAllEvaluatedSafeCandidates(t *testing.T) {
+	// Regression: the final batch used to be truncated at Target, throwing
+	// away candidates whose (paid-for) safety evaluation succeeded and
+	// undercounting Stats.Safe. With a suite that has no positive tests,
+	// every candidate is trivially safe, so every evaluated candidate must
+	// end up in the pool even though Target is far smaller than one batch.
+	p := lang.MustParse(src)
+	s := &testsuite.Suite{
+		Negative: []testsuite.Test{{Name: "n1", Input: []int64{1, 2}, Want: []int64{99}}},
+	}
+	pl := Precompute(p, s, Config{Target: 3, Workers: 4}, rng.New(21))
+	st := pl.Stats()
+	if pl.Size() != st.Evaluated {
+		t.Fatalf("pool size %d != evaluated %d: evaluated-safe candidates were dropped", pl.Size(), st.Evaluated)
+	}
+	if pl.Size() <= 3 {
+		t.Fatalf("pool size %d: final batch overshoot was discarded", pl.Size())
+	}
+	if st.Safe != pl.Size() {
+		t.Fatalf("stats.Safe %d != pool size %d", st.Safe, pl.Size())
 	}
 }
 

@@ -118,11 +118,13 @@ func TestBuildPoolProducesSafeMutations(t *testing.T) {
 func TestSafeMutationRateRealistic(t *testing.T) {
 	// The paper reports ≈30% of whole-statement mutations are safe; our
 	// generated programs should land in a broad band around that.
+	// (The upper bound allows for Stats.Safe counting every safe finding;
+	// it used to be truncated at the pool target, biasing the rate low.)
 	sc := Generate(Profile{Name: "rate", Blocks: 30, Redundancy: 2.0, Options: 50, PositiveTests: 6, Seed: 11})
 	pl := sc.BuildPool(4, rng.New(200))
 	rate := pl.Stats().SafeRate()
-	if rate < 0.10 || rate > 0.60 {
-		t.Fatalf("safe mutation rate %.3f outside [0.10, 0.60]", rate)
+	if rate < 0.10 || rate > 0.70 {
+		t.Fatalf("safe mutation rate %.3f outside [0.10, 0.70]", rate)
 	}
 }
 

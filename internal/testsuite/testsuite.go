@@ -104,28 +104,181 @@ func (f Fitness) String() string {
 	return fmt.Sprintf("%d/%d pos, %d/%d neg", f.PosPassed, f.PosTotal, f.NegPassed, f.NegTotal)
 }
 
+// shardCount is the number of cache shards. A power of two so the shard
+// index is a mask of the program hash; 64 shards keep the probability of
+// two of ~dozens of concurrent probers landing on the same shard low
+// without bloating the Runner.
+const shardCount = 64
+
+// knowledge levels of a cache entry, ordered so that a higher level
+// answers every question a lower level can: a full Fitness determines the
+// Outcome flags, and the Outcome flags determine safety.
+const (
+	levelNone    uint8 = iota
+	levelSafe          // safe flag known (positive tests, short-circuited)
+	levelOutcome       // safe and repair flags known
+	levelFitness       // full test-by-test Fitness known
+)
+
+// cacheEntry is the unified cache record for one program hash. It replaces
+// the previous three parallel maps (fitness, safe, outcome): one entry
+// carries whatever level of knowledge has been computed so far and is
+// upgraded in place. The inflight channels implement singleflight
+// deduplication — inflight[l] is non-nil while a computation that will
+// raise the entry to at least level l is running, and is closed when that
+// result lands, waking all goroutines that joined it instead of paying
+// for their own evaluation.
+type cacheEntry struct {
+	level   uint8
+	safe    bool
+	repair  bool
+	fitness Fitness
+
+	inflight [levelFitness + 1]chan struct{}
+}
+
+// probeResult is the answer extracted from (or stored into) a cacheEntry.
+type probeResult struct {
+	safe    bool
+	repair  bool
+	fitness Fitness
+}
+
+// cacheShard is one lock domain of the sharded cache. The hot counters
+// (hits, dedup joins) live per shard so the cache-hit fast path touches no
+// globally shared cache line; the pad spaces shards apart so neighboring
+// shards do not false-share.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[uint64]*cacheEntry
+	hits    atomic.Int64
+	dedup   atomic.Int64
+
+	_ [64]byte // padding: keep adjacent shards on separate cache lines
+}
+
 // Runner evaluates programs against a fixed suite with memoization and
 // evaluation counting. It is safe for concurrent use: MWRepair and the
-// baselines evaluate many mutants in parallel goroutines.
+// baselines evaluate many mutants in parallel goroutines. The cache is
+// sharded by program hash (one RWMutex per shard) and deduplicates
+// in-flight work: N goroutines probing the same mutant concurrently run
+// the suite once and share the result.
 type Runner struct {
-	suite *Suite
+	suite  *Suite
+	shards [shardCount]cacheShard
 
-	mu           sync.Mutex
-	cache        map[uint64]Fitness
-	safeCache    map[uint64]bool
-	outcomeCache map[uint64]outcome
-
-	evals     atomic.Int64 // fitness evaluations actually executed
-	cacheHits atomic.Int64
+	evals      atomic.Int64 // fitness evaluations actually executed
+	contention atomic.Int64 // shard write-lock acquisitions that had to wait
 }
 
 // NewRunner creates a runner over the suite.
 func NewRunner(s *Suite) *Runner {
-	return &Runner{suite: s, cache: make(map[uint64]Fitness)}
+	return &Runner{suite: s}
 }
 
 // Suite returns the underlying suite.
 func (r *Runner) Suite() *Suite { return r.suite }
+
+// shard returns the shard owning key.
+func (r *Runner) shard(key uint64) *cacheShard {
+	return &r.shards[key&(shardCount-1)]
+}
+
+// lockShard write-locks sh, counting the acquisition as contended when the
+// lock was not immediately available.
+func (r *Runner) lockShard(sh *cacheShard) {
+	if !sh.mu.TryLock() {
+		r.contention.Add(1)
+		sh.mu.Lock()
+	}
+}
+
+// answered reports whether e already holds enough knowledge to answer a
+// query at the given level. Besides the plain level comparison, a program
+// known to be unsafe answers Outcome queries: unsafe implies not a repair.
+func answered(e *cacheEntry, level uint8) bool {
+	if e == nil {
+		return false
+	}
+	if e.level >= level {
+		return true
+	}
+	return level == levelOutcome && e.level >= levelSafe && !e.safe
+}
+
+// resultOf extracts the entry's current knowledge. Call with the owning
+// shard lock held (read or write).
+func resultOf(e *cacheEntry) probeResult {
+	return probeResult{safe: e.safe, repair: e.repair, fitness: e.fitness}
+}
+
+// evalAt returns at least the given knowledge level for key, running
+// compute at most once across all concurrent callers requesting it.
+// Completed results are served lock-shared; callers that find the same
+// computation already in flight block on its channel instead of
+// re-running the suite (counted as both a cache hit — an evaluation was
+// avoided — and a dedup suppression).
+func (r *Runner) evalAt(key uint64, level uint8, compute func() probeResult) probeResult {
+	sh := r.shard(key)
+
+	// Fast path: a completed result under the shared read lock.
+	sh.mu.RLock()
+	if e, ok := sh.entries[key]; ok && answered(e, level) {
+		res := resultOf(e)
+		sh.mu.RUnlock()
+		sh.hits.Add(1)
+		return res
+	}
+	sh.mu.RUnlock()
+
+	r.lockShard(sh)
+	if sh.entries == nil {
+		sh.entries = make(map[uint64]*cacheEntry)
+	}
+	e := sh.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		sh.entries[key] = e
+	}
+	if answered(e, level) {
+		res := resultOf(e)
+		sh.mu.Unlock()
+		sh.hits.Add(1)
+		return res
+	}
+	// Join an in-flight computation that will reach the needed level.
+	for l := level; l <= levelFitness; l++ {
+		if ch := e.inflight[l]; ch != nil {
+			sh.mu.Unlock()
+			<-ch
+			sh.hits.Add(1)
+			sh.dedup.Add(1)
+			sh.mu.RLock()
+			res := resultOf(e)
+			sh.mu.RUnlock()
+			return res
+		}
+	}
+	// This goroutine computes for everyone who joins at this level.
+	ch := make(chan struct{})
+	e.inflight[level] = ch
+	sh.mu.Unlock()
+
+	res := compute()
+	r.evals.Add(1)
+
+	r.lockShard(sh)
+	if level > e.level {
+		e.level = level
+		e.safe = res.safe
+		e.repair = res.repair
+		e.fitness = res.fitness
+	}
+	e.inflight[level] = nil
+	sh.mu.Unlock()
+	close(ch)
+	return res
+}
 
 // programKey hashes the program's canonical text — two mutants that
 // serialize identically are the same program.
@@ -142,22 +295,11 @@ func programKey(p *lang.Program) uint64 {
 // evaluation (cache hits are free, mirroring the paper's observation that
 // duplicate mutants add avoidable cost when not deduplicated).
 func (r *Runner) Eval(p *lang.Program) Fitness {
-	key := programKey(p)
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return f
-	}
-	r.mu.Unlock()
-
-	f := r.evalUncached(p)
-	r.evals.Add(1)
-
-	r.mu.Lock()
-	r.cache[key] = f
-	r.mu.Unlock()
-	return f
+	res := r.evalAt(programKey(p), levelFitness, func() probeResult {
+		f := r.evalUncached(p)
+		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}
+	})
+	return res.fitness
 }
 
 // EvalNoCache evaluates the program without consulting or populating the
@@ -184,53 +326,64 @@ func (r *Runner) evalUncached(p *lang.Program) Fitness {
 }
 
 // Safe reports whether the program passes every positive test, stopping
-// at the first failure. It shares the runner's cache when a full fitness
-// is already known and keeps its own short-circuit cache otherwise; a
+// at the first failure. It is answered from any cached knowledge level (a
+// full fitness or a prior Outcome both determine safety); a
 // short-circuited check counts as one fitness evaluation (the test suite
 // was run, just not to completion).
 func (r *Runner) Safe(p *lang.Program) bool {
-	key := programKey(p)
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return f.Safe()
-	}
-	if safe, ok := r.safeCache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return safe
-	}
-	r.mu.Unlock()
-
-	safe := true
-	for _, tc := range r.suite.Positive {
-		if !RunTest(p, tc) {
-			safe = false
-			break
+	res := r.evalAt(programKey(p), levelSafe, func() probeResult {
+		safe := true
+		for _, tc := range r.suite.Positive {
+			if !RunTest(p, tc) {
+				safe = false
+				break
+			}
 		}
-	}
-	r.evals.Add(1)
-	r.mu.Lock()
-	if r.safeCache == nil {
-		r.safeCache = make(map[uint64]bool)
-	}
-	r.safeCache[key] = safe
-	r.mu.Unlock()
-	return safe
+		return probeResult{safe: safe}
+	})
+	return res.safe
 }
 
 // Evals returns the number of fitness evaluations executed (excluding
 // cache hits) — the Sec. IV-G cost metric.
 func (r *Runner) Evals() int64 { return r.evals.Load() }
 
-// CacheHits returns the number of evaluations avoided by deduplication.
-func (r *Runner) CacheHits() int64 { return r.cacheHits.Load() }
+// CacheHits returns the number of evaluations avoided by deduplication:
+// lookups answered from a completed cache entry plus lookups answered by
+// joining an in-flight computation (the latter are also counted in
+// DedupSuppressed).
+func (r *Runner) CacheHits() int64 {
+	var n int64
+	for i := range r.shards {
+		n += r.shards[i].hits.Load()
+	}
+	return n
+}
+
+// DedupSuppressed returns the number of evaluations avoided specifically
+// by singleflight deduplication: goroutines that found the same program's
+// evaluation already in flight and waited for its result instead of
+// re-running the suite.
+func (r *Runner) DedupSuppressed() int64 {
+	var n int64
+	for i := range r.shards {
+		n += r.shards[i].dedup.Load()
+	}
+	return n
+}
+
+// ShardContention returns how many shard write-lock acquisitions found the
+// lock held — a cheap proxy for cache contention under parallel probing.
+func (r *Runner) ShardContention() int64 { return r.contention.Load() }
 
 // ResetCounters zeroes the evaluation counters (the cache is retained).
 func (r *Runner) ResetCounters() {
 	r.evals.Store(0)
-	r.cacheHits.Store(0)
+	r.contention.Store(0)
+	for i := range r.shards {
+		r.shards[i].hits.Store(0)
+		r.shards[i].dedup.Store(0)
+	}
 }
 
 // Outcome classifies the program with the minimum work the repair search
@@ -241,48 +394,27 @@ func (r *Runner) ResetCounters() {
 // fitness (a cached Fitness answers Outcome directly) and a
 // short-circuited check counts as one fitness evaluation.
 func (r *Runner) Outcome(p *lang.Program) (safe, repair bool) {
-	key := programKey(p)
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return f.Safe(), f.Repair()
-	}
-	if o, ok := r.outcomeCache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return o.safe, o.repair
-	}
-	r.mu.Unlock()
-
-	safe = true
-	for _, tc := range r.suite.Positive {
-		if !RunTest(p, tc) {
-			safe = false
-			break
-		}
-	}
-	repair = safe
-	if safe {
-		for _, tc := range r.suite.Negative {
+	res := r.evalAt(programKey(p), levelOutcome, func() probeResult {
+		safe := true
+		for _, tc := range r.suite.Positive {
 			if !RunTest(p, tc) {
-				repair = false
+				safe = false
 				break
 			}
 		}
-	}
-	r.evals.Add(1)
-	r.mu.Lock()
-	if r.outcomeCache == nil {
-		r.outcomeCache = make(map[uint64]outcome)
-	}
-	r.outcomeCache[key] = outcome{safe: safe, repair: repair}
-	r.mu.Unlock()
-	return safe, repair
+		repair := safe
+		if safe {
+			for _, tc := range r.suite.Negative {
+				if !RunTest(p, tc) {
+					repair = false
+					break
+				}
+			}
+		}
+		return probeResult{safe: safe, repair: repair}
+	})
+	return res.safe, res.repair
 }
-
-// outcome is the cached result of an Outcome call.
-type outcome struct{ safe, repair bool }
 
 // EvalParallel evaluates the program with test cases fanned out across
 // workers goroutines. This is the parallelism the paper attributes to
@@ -295,15 +427,16 @@ func (r *Runner) EvalParallel(p *lang.Program, workers int) Fitness {
 	if workers <= 1 || r.suite.Size() <= 1 {
 		return r.Eval(p)
 	}
-	key := programKey(p)
-	r.mu.Lock()
-	if f, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		r.cacheHits.Add(1)
-		return f
-	}
-	r.mu.Unlock()
+	res := r.evalAt(programKey(p), levelFitness, func() probeResult {
+		f := r.evalParallelUncached(p, workers)
+		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}
+	})
+	return res.fitness
+}
 
+// evalParallelUncached fans the suite's test cases out across workers
+// goroutines and assembles the Fitness.
+func (r *Runner) evalParallelUncached(p *lang.Program, workers int) Fitness {
 	f := Fitness{PosTotal: len(r.suite.Positive), NegTotal: len(r.suite.Negative)}
 	type job struct {
 		tc  Test
@@ -337,11 +470,6 @@ func (r *Runner) EvalParallel(p *lang.Program, workers int) Fitness {
 	wg.Wait()
 	f.PosPassed = int(posPassed.Load())
 	f.NegPassed = int(negPassed.Load())
-
-	r.evals.Add(1)
-	r.mu.Lock()
-	r.cache[key] = f
-	r.mu.Unlock()
 	return f
 }
 
