@@ -1,15 +1,24 @@
 # Tier-1 verification plus the race detector and probe-path benchmarks.
 #
-#   make ci          vet + build + race-enabled tests (the full gate)
+#   make ci          vet + build + race-enabled tests + bench smoke (the full gate)
 #   make test        plain tier-1 tests (ROADMAP.md's definition)
 #   make race        go test -race ./...
+#   make bench       sampling benchmarks at fixed -benchtime -> BENCH_PR2.json
+#   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
+#   make bench-all   every benchmark once (smoke)
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-probe bench
+# The perf-trajectory benchmarks frozen into BENCH_PR2.json: the
+# BenchmarkSample primitive comparison (naive scan vs Fenwick vs batched),
+# the end-to-end learner cycle, the wrs draw/update microbenchmarks, and the
+# PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
+SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-ci: vet build race
+.PHONY: ci vet build test race bench bench-smoke bench-probe bench-all
+
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +39,15 @@ race:
 bench-probe:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache|BenchmarkPoolPrecompute' -benchtime 1x .
 
+# Fixed -benchtime so BENCH_PR2.json is comparable across commits; benchjson
+# echoes the raw go test output to stderr and writes {name, ns/op, allocs/op}
+# records for each result.
 bench:
+	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)' -benchmem -benchtime 1s . ./internal/wrs \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)' -benchmem -benchtime 100x . ./internal/wrs
+
+bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

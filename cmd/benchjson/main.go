@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of {name, ns_per_op, allocs_per_op} records, one per benchmark
+// result line. The Makefile's bench target pipes the sampling benchmarks
+// through it to produce BENCH_PR2.json, so benchmark history is diffable
+// in review rather than buried in CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
+	BytesOp    *int64  `json:"bytes_per_op,omitempty"`
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkSample/naive/k=64-8   62011   19290 ns/op   0 B/op   0 allocs/op
+//
+// returning ok=false for non-result lines (headers, PASS, ok ...).
+func parseLine(line string) (record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return record{}, false
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return record{}, false
+	}
+	// Strip the trailing -GOMAXPROCS suffix from the name.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := record{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.BytesOp = &v
+		case "allocs/op":
+			r.AllocsOp = &v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var records []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output so the pipe stays observable in CI logs.
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(strings.TrimSpace(line)); ok {
+			records = append(records, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}

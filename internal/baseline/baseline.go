@@ -19,6 +19,7 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/rng"
 	"repro/internal/testsuite"
+	"repro/internal/wrs"
 )
 
 // Result summarizes one baseline repair attempt.
@@ -86,7 +87,12 @@ type Problem struct {
 	// weights[i] is the fault-localization weight of statement i.
 	weights []float64
 	targets []int // statements with positive weight
-	runner  *testsuite.Runner
+	// targetAlias samples a position in targets proportionally to its
+	// suspiciousness in O(1). Fault localization is fixed for the whole
+	// run, the exact setting an alias table is built for; the baselines
+	// draw one mutation per candidate, thousands of times per repair.
+	targetAlias *wrs.Alias
+	runner      *testsuite.Runner
 }
 
 // NewProblem builds the shared search state, including GenProg-style fault
@@ -112,6 +118,13 @@ func NewProblem(p *lang.Program, s *testsuite.Suite) *Problem {
 			pr.targets = append(pr.targets, i)
 		}
 	}
+	if len(pr.targets) > 0 {
+		tw := make([]float64, len(pr.targets))
+		for j, t := range pr.targets {
+			tw[j] = pr.weights[t]
+		}
+		pr.targetAlias = wrs.NewAlias(tw)
+	}
 	return pr
 }
 
@@ -135,26 +148,14 @@ func (pr *Problem) Runner() *testsuite.Runner { return pr.runner }
 func (pr *Problem) Targets() []int { return append([]int(nil), pr.targets...) }
 
 // randomMutation draws one mutation targeting a fault-localized statement,
-// weighted by suspiciousness.
+// weighted by suspiciousness. The target draw goes through the alias table
+// (O(1) instead of a linear scan over the targets) and consumes exactly
+// one variate, like the scan it replaced.
 func (pr *Problem) randomMutation(r *rng.RNG) mutation.Mutation {
 	if len(pr.targets) == 0 {
 		panic("baseline: no fault-localized statements")
 	}
-	// Weighted target choice.
-	var total float64
-	for _, t := range pr.targets {
-		total += pr.weights[t]
-	}
-	u := r.Float64() * total
-	at := pr.targets[len(pr.targets)-1]
-	acc := 0.0
-	for _, t := range pr.targets {
-		acc += pr.weights[t]
-		if u < acc {
-			at = t
-			break
-		}
-	}
+	at := pr.targets[pr.targetAlias.Draw(r)]
 	op := mutation.Ops[r.Intn(len(mutation.Ops))]
 	m := mutation.Mutation{Op: op, At: at}
 	if op != mutation.Delete {

@@ -120,14 +120,19 @@ func (e *ErrIntractable) Error() string {
 // equivalent message-passing engine built from one goroutine per agent is
 // in agents.go.
 type Distributed struct {
-	cfg      DistributedConfig
-	choices  []int // C_j: current choice of agent j
-	counts   []int // popularity of each option
-	observed []int // O_j: option observed this cycle
-	queried  []int32
-	touched  []int32 // agent indices with nonzero queried counts
-	rng      *rng.RNG
-	metrics  Metrics
+	cfg     DistributedConfig
+	choices []int // C_j: current choice of agent j
+	counts  []int // popularity of each option
+	queried []int32
+	touched []int32 // agent indices with nonzero queried counts
+	rng     *rng.RNG
+	// leader caches the most-popular option so that the per-cycle
+	// convergence check does not rescan all k counts; it is invalidated
+	// whenever an adoption changes the counts and lazily recomputed with
+	// the same smallest-index-wins scan as before.
+	leader      int
+	leaderValid bool
+	metrics     Metrics
 }
 
 // NewDistributed creates a Distributed learner. It returns *ErrIntractable
@@ -144,12 +149,11 @@ func NewDistributed(cfg DistributedConfig, r *rng.RNG) (*Distributed, error) {
 		return nil, &ErrIntractable{K: cfg.K, PopSize: cfg.PopSize, MaxAgents: cfg.MaxAgents}
 	}
 	d := &Distributed{
-		cfg:      cfg,
-		choices:  make([]int, cfg.PopSize),
-		counts:   make([]int, cfg.K),
-		observed: make([]int, cfg.PopSize),
-		queried:  make([]int32, cfg.PopSize),
-		rng:      r,
+		cfg:     cfg,
+		choices: make([]int, cfg.PopSize),
+		counts:  make([]int, cfg.K),
+		queried: make([]int32, cfg.PopSize),
+		rng:     r,
 	}
 	// Fig. 3 lines 1–5: options are assigned to agents round-robin so each
 	// option starts with popSize/k holders.
@@ -188,25 +192,27 @@ func (d *Distributed) PopSize() int { return d.cfg.PopSize }
 // with probability μ, otherwise observes a uniformly random neighbor's
 // current choice. Neighbor queries are messages; the per-iteration
 // congestion (max in-degree) is accumulated into the metrics at Update.
+// The returned slice is freshly allocated and owned by the caller.
 func (d *Distributed) Sample() []int {
 	// Reset per-iteration congestion counters touched last cycle.
 	for _, j := range d.touched {
 		d.queried[j] = 0
 	}
 	d.touched = d.touched[:0]
-	for j := range d.observed {
+	observed := make([]int, d.cfg.PopSize)
+	for j := range observed {
 		if d.rng.Float64() < d.cfg.Mu {
-			d.observed[j] = d.rng.Intn(d.cfg.K)
+			observed[j] = d.rng.Intn(d.cfg.K)
 		} else {
 			h := d.rng.Intn(d.cfg.PopSize)
-			d.observed[j] = d.choices[h]
+			observed[j] = d.choices[h]
 			if d.queried[h] == 0 {
 				d.touched = append(d.touched, int32(h))
 			}
 			d.queried[h]++
 		}
 	}
-	return d.observed
+	return observed
 }
 
 // Update implements Fig. 3 lines 16–22: adopt the observed option with
@@ -226,6 +232,7 @@ func (d *Distributed) Update(arms []int, rewards []float64) {
 			d.counts[d.choices[j]]--
 			d.choices[j] = arm
 			d.counts[arm]++
+			d.leaderValid = false
 		}
 	}
 	congestion := 0
@@ -240,15 +247,21 @@ func (d *Distributed) Update(arms []int, rewards []float64) {
 	d.metrics.recordIteration(d.cfg.PopSize, congestion, messages)
 }
 
-// Leader implements Learner: the most popular option.
+// Leader implements Learner: the most popular option (smallest index on
+// ties). The scan result is cached and invalidated by adoptions, so the
+// frequent convergence checks between updates are O(1).
 func (d *Distributed) Leader() int {
-	best := 0
-	for i, c := range d.counts {
-		if c > d.counts[best] {
-			best = i
+	if !d.leaderValid {
+		best := 0
+		for i, c := range d.counts {
+			if c > d.counts[best] {
+				best = i
+			}
 		}
+		d.leader = best
+		d.leaderValid = true
 	}
-	return best
+	return d.leader
 }
 
 // LeaderProb implements Learner: the leader's popularity fraction.

@@ -47,8 +47,10 @@ type Learner interface {
 	// occupies each iteration — the per-iteration CPU cost of Table IV.
 	Agents() int
 	// Sample assigns an option to each of the Agents() evaluators for this
-	// update cycle. The returned slice is owned by the learner and valid
-	// until the matching Update call.
+	// update cycle. The returned slice is freshly allocated: ownership
+	// passes to the caller, and later Sample or Update calls never
+	// overwrite it, so drivers may retain past assignments (e.g. to replay
+	// or audit a run).
 	Sample() []int
 	// Update consumes the rewards observed for the assignment returned by
 	// the immediately preceding Sample call (rewards[i] ∈ {0,1} is the

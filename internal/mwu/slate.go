@@ -88,8 +88,9 @@ type Slate struct {
 	weights   []float64
 	logShift  float64 // running normalization of log-weights
 	rng       *rng.RNG
-	arms      []int
+	capper    *simplex.Capper
 	marginals []float64
+	coeffs    []float64 // reusable coefficient buffer for the exact sampler
 	stable    int
 	converged bool
 	metrics   Metrics
@@ -105,7 +106,7 @@ func NewSlate(cfg SlateConfig, r *rng.RNG) *Slate {
 	for i := range w {
 		w[i] = 1
 	}
-	s := &Slate{cfg: cfg, weights: w, rng: r}
+	s := &Slate{cfg: cfg, weights: w, rng: r, capper: simplex.NewCapper(cfg.K, cfg.N)}
 	s.metrics.MemoryFloats = cfg.K // the weight vector on the selecting node
 	return s
 }
@@ -131,10 +132,14 @@ func (s *Slate) maxInclusion() float64 {
 
 // Sample selects the next slate (Fig. 2's selection step): cap the
 // normalized weights onto the slate polytope, mix in γ uniform
-// exploration at the marginal level, decompose, and draw one slate.
+// exploration at the marginal level, decompose, and draw one slate. The
+// capping uses the partial-selection Capper (O(k + m log n) instead of a
+// full O(k log k) sort), and the default systematic sampler keeps the
+// whole selection step O(k). The returned slice is freshly allocated and
+// owned by the caller.
 func (s *Slate) Sample() []int {
 	n, k := s.cfg.N, s.cfg.K
-	q := simplex.CapDistribution(s.weights, n)
+	q := s.capper.Cap(s.weights)
 	if s.marginals == nil {
 		s.marginals = make([]float64, k)
 	}
@@ -145,17 +150,24 @@ func (s *Slate) Sample() []int {
 	var slate simplex.Slate
 	if s.cfg.ExactDecomposition {
 		comps := simplex.Decompose(s.marginals, n)
-		coeffs := make([]float64, len(comps))
-		for i, c := range comps {
-			coeffs[i] = c.Coeff
+		if cap(s.coeffs) < len(comps) {
+			s.coeffs = make([]float64, len(comps))
 		}
-		slate = comps[s.rng.Categorical(coeffs)].Slate
+		s.coeffs = s.coeffs[:len(comps)]
+		// Sum while filling so the draw can skip Categorical's extra pass;
+		// the left-to-right total matches Categorical's bit for bit.
+		total := 0.0
+		for i, c := range comps {
+			s.coeffs[i] = c.Coeff
+			total += c.Coeff
+		}
+		slate = comps[s.rng.CategoricalTotal(s.coeffs, total)].Slate
 	} else {
 		slate = simplex.SystematicSample(s.marginals, n, s.rng)
 	}
-	s.arms = s.arms[:0]
-	s.arms = append(s.arms, slate...)
-	return s.arms
+	arms := make([]int, len(slate))
+	copy(arms, slate)
+	return arms
 }
 
 // Update applies importance-weighted exponential updates to the slate

@@ -5,7 +5,16 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/wrs"
 )
+
+// resyncEvery is how many update cycles may pass before Standard recomputes
+// its running weight total (and Fenwick tree) exactly from the weight
+// vector. The incremental maintenance in Update drifts by one rounding
+// error per arm per cycle; resyncing every few hundred cycles bounds the
+// accumulated drift to ~n·resyncEvery ulps, far below anything selection
+// probabilities can feel, while amortizing the O(k) rebuild to nothing.
+const resyncEvery = 512
 
 // StandardConfig parameterizes the Standard (weighted-majority) MWU.
 type StandardConfig struct {
@@ -59,7 +68,10 @@ type Standard struct {
 	weights   []float64
 	sum       float64
 	rng       *rng.RNG
-	arms      []int
+	fen       *wrs.Fenwick // incrementally-maintained sampling index over weights
+	batch     wrs.Batcher
+	useFen    bool // draw via Fenwick descent instead of the batched scan
+	sinceSync int  // update cycles since the last exact resync
 	converged bool
 	metrics   Metrics
 }
@@ -79,10 +91,25 @@ func NewStandard(cfg StandardConfig, r *rng.RNG) *Standard {
 		weights: w,
 		sum:     float64(cfg.K),
 		rng:     r,
-		arms:    make([]int, cfg.Agents),
+		fen:     wrs.NewFenwick(w),
+		// Fenwick costs n·⌈log₂ k⌉ descents per cycle against the batched
+		// pass's k-element scan; pick whichever is cheaper for this shape.
+		// The batched path is additionally bit-identical to the historical
+		// per-agent Categorical loop, so small configurations (where it
+		// wins anyway) keep their exact fixed-seed trajectories.
+		useFen: cfg.Agents*log2ceil(cfg.K) < cfg.K,
 	}
 	s.metrics.MemoryFloats = cfg.K // the shared weight vector
 	return s
+}
+
+// log2ceil returns ⌈log₂ k⌉ for k ≥ 1.
+func log2ceil(k int) int {
+	b := 0
+	for 1<<b < k {
+		b++
+	}
+	return b
 }
 
 // Name implements Learner.
@@ -95,12 +122,21 @@ func (s *Standard) K() int { return s.cfg.K }
 func (s *Standard) Agents() int { return s.cfg.Agents }
 
 // Sample draws one option per agent proportionally to the current weights
-// (Fig. 1's Sample step).
+// (Fig. 1's Sample step). Instead of the naive O(n·k) per-agent scan it
+// uses the cheaper of two sub-linear strategies: prefix descent on the
+// incrementally-maintained Fenwick tree (O(n·log k)) or a single batched
+// merge pass over the weights (O(k + n·log n)). The returned slice is
+// freshly allocated and owned by the caller.
 func (s *Standard) Sample() []int {
-	for j := range s.arms {
-		s.arms[j] = s.rng.Categorical(s.weights)
+	arms := make([]int, s.cfg.Agents)
+	if s.useFen {
+		for j := range arms {
+			arms[j] = s.fen.Draw(s.rng)
+		}
+	} else {
+		s.batch.Draw(s.weights, s.rng, arms)
 	}
-	return s.arms
+	return arms
 }
 
 // Update applies the signed multiplicative rule to every sampled option:
@@ -119,6 +155,11 @@ func (s *Standard) Update(arms []int, rewards []float64) {
 			s.weights[arm] = old * (1 + s.cfg.Eta)
 		}
 		s.sum += s.weights[arm] - old
+		s.fen.Add(arm, s.weights[arm]-old)
+	}
+	s.sinceSync++
+	if s.sinceSync >= resyncEvery {
+		s.resync()
 	}
 	s.rescaleIfNeeded()
 	// Full synchronization: every agent sends its (arm, reward) pair to the
@@ -139,11 +180,24 @@ func (s *Standard) rescaleIfNeeded() {
 		return
 	}
 	scale := float64(s.cfg.K) / s.sum
-	s.sum = 0
 	for i := range s.weights {
 		s.weights[i] *= scale
-		s.sum += s.weights[i]
 	}
+	s.resync()
+}
+
+// resync recomputes the running total exactly from the weight vector and
+// rebuilds the Fenwick tree, discarding the rounding drift that the
+// incremental += maintenance in Update accumulates (one ulp-scale error per
+// probed arm per cycle). Called every resyncEvery cycles and after every
+// rescale.
+func (s *Standard) resync() {
+	s.sum = 0
+	for _, w := range s.weights {
+		s.sum += w
+	}
+	s.fen.Reload(s.weights)
+	s.sinceSync = 0
 }
 
 // Leader implements Learner: the highest-weight option.

@@ -31,7 +31,25 @@ import (
 type Pool struct {
 	original  *lang.Program
 	mutations []mutation.Mutation
-	stats     Stats
+	// ids indexes the pool by mutation identity so membership checks are
+	// O(1) instead of a scan over the whole pool (scenario construction
+	// calls Add/Contains per canonical mutation against pools of hundreds
+	// of entries). It is built lazily on first use and invalidated by bulk
+	// rewrites (Revalidate).
+	ids   map[string]struct{}
+	stats Stats
+}
+
+// index returns the identity set, (re)building it from the mutation list
+// when missing.
+func (pl *Pool) index() map[string]struct{} {
+	if pl.ids == nil {
+		pl.ids = make(map[string]struct{}, len(pl.mutations))
+		for _, m := range pl.mutations {
+			pl.ids[m.ID()] = struct{}{}
+		}
+	}
+	return pl.ids
 }
 
 // Stats records the cost of building (and updating) a pool.
@@ -218,11 +236,11 @@ func (pl *Pool) Add(m mutation.Mutation) bool {
 		panic(err)
 	}
 	id := m.ID()
-	for _, have := range pl.mutations {
-		if have.ID() == id {
-			return false
-		}
+	ids := pl.index()
+	if _, dup := ids[id]; dup {
+		return false
 	}
+	ids[id] = struct{}{}
 	pl.mutations = append(pl.mutations, m)
 	pl.stats.Safe = len(pl.mutations)
 	return true
@@ -231,13 +249,8 @@ func (pl *Pool) Add(m mutation.Mutation) bool {
 // Contains reports whether a mutation with the same identity is in the
 // pool.
 func (pl *Pool) Contains(m mutation.Mutation) bool {
-	id := m.ID()
-	for _, have := range pl.mutations {
-		if have.ID() == id {
-			return true
-		}
-	}
-	return false
+	_, ok := pl.index()[m.ID()]
+	return ok
 }
 
 // Revalidate re-checks every pool mutation against an updated suite and
@@ -277,6 +290,7 @@ func (pl *Pool) Revalidate(suite *testsuite.Suite, workers int) int {
 	}
 	removed := len(pl.mutations) - len(kept)
 	pl.mutations = kept
+	pl.ids = nil // identity index is stale after the bulk rewrite
 	pl.stats.Safe = len(kept)
 	pl.stats.CacheHits = runner.CacheHits()
 	pl.stats.DedupSuppressed = runner.DedupSuppressed()

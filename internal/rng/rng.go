@@ -212,6 +212,16 @@ func (r *RNG) Categorical(w []float64) int {
 	for _, wi := range w {
 		total += wi
 	}
+	return r.CategoricalTotal(w, total)
+}
+
+// CategoricalTotal is Categorical for callers that already track the sum
+// of w (e.g. an incrementally maintained weight total), skipping the O(k)
+// re-summation. Passing the exact left-to-right sum of w reproduces
+// Categorical bit for bit; a total that drifts from the true sum only
+// shifts the draw by the drift's relative magnitude. It panics if total is
+// not positive and finite.
+func (r *RNG) CategoricalTotal(w []float64, total float64) int {
 	if !(total > 0) || math.IsInf(total, 1) {
 		panic("rng: Categorical requires positive finite total weight")
 	}

@@ -1,0 +1,198 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestCapperMatchesCapDistribution cross-validates the partial-selection
+// capper against the reference sort-based projection on randomized
+// vectors, including repeated calls on one Capper (buffer reuse) and
+// evolving MWU-style weight vectors.
+func TestCapperMatchesCapDistribution(t *testing.T) {
+	r := rng.New(11)
+	for _, kn := range [][2]int{{1, 1}, {2, 1}, {3, 2}, {8, 3}, {64, 4}, {200, 16}, {200, 200}} {
+		k, n := kn[0], kn[1]
+		c := NewCapper(k, n)
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = 1
+		}
+		for trial := 0; trial < 60; trial++ {
+			want := CapDistribution(w, n)
+			got := c.Cap(w)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("k=%d n=%d trial %d: q[%d] = %v, want %v", k, n, trial, i, got[i], want[i])
+				}
+			}
+			// Evolve like MWU: multiplicative bumps, occasionally extreme.
+			for i := range w {
+				if r.Float64() < 0.3 {
+					w[i] *= math.Exp(2 * (r.Float64() - 0.3))
+				}
+			}
+			if trial%10 == 9 {
+				// Concentrate mass so pinning definitely occurs.
+				w[r.Intn(k)] = 1e6
+			}
+			if trial%17 == 16 {
+				// Shrink everything, as a rescale would.
+				for i := range w {
+					w[i] *= 1e-8
+				}
+			}
+		}
+	}
+}
+
+// TestCapperDegenerateMass covers the remaining-mass-exhausted branch: all
+// weight on fewer than n components spreads leftover probability uniformly
+// (the p = [1,0,0], n = 2 → [1/2, 1/4, 1/4] case documented in
+// CapDistribution).
+func TestCapperDegenerateMass(t *testing.T) {
+	c := NewCapper(3, 2)
+	got := c.Cap([]float64{1, 0, 0})
+	want := CapDistribution([]float64{1, 0, 0}, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("q[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got[0] != 0.5 || got[1] != 0.25 || got[2] != 0.25 {
+		t.Fatalf("got %v, want [0.5 0.25 0.25]", got)
+	}
+}
+
+// TestCapperTies pins down deterministic tie handling: equal weights at
+// the selection boundary must still produce a valid capped distribution
+// (sum 1, every component ≤ 1/n + tolerance).
+func TestCapperTies(t *testing.T) {
+	c := NewCapper(6, 2)
+	for _, w := range [][]float64{
+		{5, 5, 5, 1, 1, 1},
+		{2, 2, 2, 2, 2, 2},
+		{7, 7, 0, 0, 0, 0},
+		{1e300, 1e300, 1, 1, 1, 1},
+	} {
+		q := c.Cap(w)
+		sum := 0.0
+		for i, qi := range q {
+			if qi < 0 || qi > 0.5+1e-9 {
+				t.Fatalf("w=%v: q[%d] = %v outside [0, 1/n]", w, i, qi)
+			}
+			sum += qi
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("w=%v: q sums to %v", w, sum)
+		}
+	}
+}
+
+func TestCapperPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad slate size":  func() { NewCapper(3, 4) },
+		"zero slate size": func() { NewCapper(3, 0) },
+		"length mismatch": func() { NewCapper(4, 2).Cap([]float64{1, 2}) },
+		"negative weight": func() { NewCapper(2, 1).Cap([]float64{1, -1}) },
+		"zero total":      func() { NewCapper(2, 1).Cap([]float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSystematicSampleShortfallFill exercises the roundoff-recovery branch
+// of SystematicSample: marginals that pass the sum check but whose
+// cumulative walk comes up one short of n selections, forcing the
+// fill-from-largest-unselected path. The vector sums to n − 2e-6 (inside
+// the 1e-6·n tolerance), so any offset u > 1 − 2e-6 walks off the end
+// with only n−1 options selected.
+func TestSystematicSampleShortfallFill(t *testing.T) {
+	n := 3
+	v := []float64{1, 1 - 2e-6, 0.25, 0.25, 0.25, 0.25}
+
+	// Find a seed whose first Float64 lands in (1−2e-6, 1): each seed hits
+	// with probability 2e-6, so ~500k trials are expected; cap generously.
+	seed := uint64(0)
+	found := false
+	for s := uint64(1); s < 20_000_000; s++ {
+		if f := rng.New(s).Float64(); f > 1-2e-6 && f < 1 {
+			seed, found = s, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no seed with first variate above 1-2e-6 in the search range")
+	}
+
+	slate := SystematicSample(v, n, rng.New(seed))
+	if len(slate) != n {
+		t.Fatalf("shortfall fill returned %d options, want %d", len(slate), n)
+	}
+	seen := map[int]bool{}
+	for i, opt := range slate {
+		if opt < 0 || opt >= len(v) {
+			t.Fatalf("option %d out of range", opt)
+		}
+		if seen[opt] {
+			t.Fatalf("duplicate option %d in %v", opt, slate)
+		}
+		seen[opt] = true
+		if i > 0 && slate[i-1] > opt {
+			t.Fatalf("slate not sorted: %v", slate)
+		}
+	}
+	// The fill takes the largest unselected marginals, so both near-unit
+	// options must be present.
+	if !seen[0] || !seen[1] {
+		t.Fatalf("largest marginals missing from filled slate %v", slate)
+	}
+}
+
+// TestDecomposeNumericallyStuck drives Decompose into its θ ≤ floatTol
+// escape hatch with a crafted vector: after peeling the first slate, the
+// residual mass μ is above floatTol but the best feasible coefficient is
+// not, so the remaining mass must be dumped on the final slate rather than
+// looping forever.
+func TestDecomposeNumericallyStuck(t *testing.T) {
+	// n=2, v sums to 2·μ with μ ≈ 1 + 1.75e-9. First iteration peels
+	// θ = 1 − 3e-9 (cap-gap limited by the third component). The residual
+	// is then [≈3e-9, ≈3e-9, 3e-9, 5e-10] with μ' ≈ 1.75e-9 > floatTol,
+	// but the next θ is gap-limited to ≤ floatTol, triggering the branch.
+	v := []float64{1, 1, 3e-9, 5e-10}
+	comps := Decompose(v, 2)
+	if len(comps) == 0 {
+		t.Fatal("no components returned")
+	}
+	// All invariants must still hold: coefficients positive, slates valid,
+	// reconstruction within roundoff of the input.
+	mass := 0.0
+	for _, c := range comps {
+		if c.Coeff <= 0 {
+			t.Fatalf("non-positive coefficient %v", c.Coeff)
+		}
+		if len(c.Slate) != 2 {
+			t.Fatalf("slate size %d, want 2", len(c.Slate))
+		}
+		mass += c.Coeff
+	}
+	wantMass := (1 + 1 + 3e-9 + 5e-10) / 2
+	if math.Abs(mass-wantMass) > 1e-7 {
+		t.Fatalf("coefficients sum to %v, want %v", mass, wantMass)
+	}
+	recon := Reconstruct(comps, len(v))
+	for i := range v {
+		if math.Abs(recon[i]-v[i]) > 1e-6 {
+			t.Fatalf("reconstruction[%d] = %v, want %v", i, recon[i], v[i])
+		}
+	}
+}

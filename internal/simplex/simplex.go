@@ -194,10 +194,12 @@ func SampleSlate(w []float64, n int, r *rng.RNG) (Slate, []float64) {
 	}
 	comps := Decompose(v, n)
 	coeffs := make([]float64, len(comps))
+	total := 0.0
 	for i, c := range comps {
 		coeffs[i] = c.Coeff
+		total += c.Coeff
 	}
-	return comps[r.Categorical(coeffs)].Slate, q
+	return comps[r.CategoricalTotal(coeffs, total)].Slate, q
 }
 
 // SystematicSample draws a slate of n distinct options whose marginal

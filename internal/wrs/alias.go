@@ -1,0 +1,94 @@
+package wrs
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Alias is Vose's alias table: O(k) build, O(1) draw. It is the sampler of
+// choice for a distribution that stays fixed across many draws — a
+// baseline's fault-localization weights (static for a whole repair run) or
+// a convex decomposition's component coefficients (static within the
+// iteration that built them). The table is immutable after construction
+// and safe for concurrent Draw calls, since Draw touches only the
+// caller-supplied RNG.
+type Alias struct {
+	prob  []float64 // acceptance threshold for each column, in [0, 1]
+	alias []int32   // donor option when the column's threshold rejects
+}
+
+// NewAlias builds the table for the (unnormalized, non-negative) weight
+// vector w in O(k). It panics if a weight is negative or NaN, or if the
+// total weight is not positive and finite.
+func NewAlias(w []float64) *Alias {
+	n := len(w)
+	total := 0.0
+	for _, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			panic("wrs: Alias requires non-negative weights")
+		}
+		total += wi
+	}
+	validateTotal(total)
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scale so the average column mass is exactly 1, then repeatedly pair
+	// an underfull column with an overfull donor. Stacks are filled in
+	// ascending index order, so the construction is deterministic.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	mult := float64(n) / total
+	for i, wi := range w {
+		scaled[i] = wi * mult
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Roundoff leaves one of the stacks non-empty; those columns hold
+	// exactly their own option.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len returns the number of options.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw samples one option in O(1), consuming exactly one variate: the
+// integer part of u·k picks a column, the fractional part decides between
+// the column's own option and its alias donor.
+func (a *Alias) Draw(r *rng.RNG) int {
+	n := len(a.prob)
+	u := r.Float64() * float64(n)
+	i := int(u)
+	if i >= n {
+		// Float64()·n can round up to n when Float64 is within an ulp of 1.
+		i = n - 1
+	}
+	if u-float64(i) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,100 @@
+package wrs
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Batcher draws m categorical samples from one weight vector in a single
+// O(k + m log m) pass: the m uniforms are drawn first (in caller order,
+// preserving the RNG stream), sorted, and merged against the running
+// cumulative weights, so the weight vector is scanned once per batch
+// instead of once per draw.
+//
+// The draws are bit-identical to m sequential rng.Categorical calls on the
+// same stream: the cumulative sums are accumulated left to right exactly
+// as Categorical's scan accumulates them, each uniform is u = Float64() ·
+// total with the same freshly-summed total, and the top-boundary slack
+// falls back to the last positively-weighted index. This equivalence is
+// what lets Standard adopt the batched path without perturbing any
+// fixed-seed result, and it is checked exhaustively by the package tests.
+//
+// The zero value is ready to use. A Batcher owns reusable scratch buffers
+// and is not safe for concurrent use.
+type Batcher struct {
+	us    []float64
+	order []int
+}
+
+// batchOrder sorts index slices by their uniforms without the per-call
+// closure allocation of sort.Slice.
+type batchOrder struct {
+	us    []float64
+	order []int
+}
+
+func (b batchOrder) Len() int           { return len(b.order) }
+func (b batchOrder) Less(i, j int) bool { return b.us[b.order[i]] < b.us[b.order[j]] }
+func (b batchOrder) Swap(i, j int)      { b.order[i], b.order[j] = b.order[j], b.order[i] }
+
+// Draw fills out with len(out) draws from the weight vector w, consuming
+// exactly len(out) variates from r. It panics (like rng.Categorical) if
+// the total weight is not positive and finite.
+func (b *Batcher) Draw(w []float64, r *rng.RNG, out []int) {
+	m := len(out)
+	if m == 0 {
+		return
+	}
+	total := 0.0
+	lastPos := len(w) - 1
+	for i, wi := range w {
+		total += wi
+		if wi > 0 {
+			lastPos = i
+		}
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		panic("wrs: Batcher requires positive finite total weight")
+	}
+
+	if cap(b.us) < m {
+		b.us = make([]float64, m)
+		b.order = make([]int, m)
+	}
+	b.us = b.us[:m]
+	b.order = b.order[:m]
+	// Uniforms are drawn in caller order — the stream consumption is
+	// indistinguishable from m independent Categorical calls.
+	for j := 0; j < m; j++ {
+		b.us[j] = r.Float64() * total
+		b.order[j] = j
+	}
+	sort.Sort(batchOrder{us: b.us, order: b.order})
+
+	// Single merged scan: the running accumulator visits each cumulative
+	// sum once, in the same left-to-right association Categorical uses.
+	i := 0
+	acc := w[0]
+	for _, j := range b.order {
+		u := b.us[j]
+		for u >= acc && i < len(w)-1 {
+			i++
+			acc += w[i]
+		}
+		if u < acc {
+			out[j] = i
+		} else {
+			// Floating-point slack above the final cumulative sum.
+			out[j] = lastPos
+		}
+	}
+}
+
+// BatchedCategorical is a convenience wrapper for one-off batches; hot
+// loops should hold a Batcher to reuse its scratch buffers.
+func BatchedCategorical(w []float64, r *rng.RNG, out []int) {
+	var b Batcher
+	b.Draw(w, r, out)
+}

@@ -1,0 +1,56 @@
+// Package wrs implements sub-linear weighted random sampling for the MWU
+// hot paths.
+//
+// Every probe cycle of every MWU realization must turn a weight vector
+// over k options into sampled option indices. The naive route —
+// rng.Categorical, an O(k) re-sum plus linear scan per draw — makes
+// per-iteration sampling cost O(n·k) for n agents, which at the largest
+// evaluation sizes (k = 16384, n = ⌈0.05k⌉ ≈ 819) dominates iteration
+// throughput once the fitness cache absorbs duplicate probe evaluations.
+// This package provides the three standard constructions (following
+// Hübschle-Schneider & Sanders, "Parallel Weighted Random Sampling") that
+// remove the linear scan:
+//
+//   - Fenwick — a binary indexed tree over the weights: O(log k) draw by
+//     prefix-sum descent, O(log k) point update. The right tool for a
+//     distribution that mutates between draws (Standard's shared weight
+//     vector, updated every cycle).
+//   - Alias — Vose's alias table: O(k) build, O(1) draw. The right tool
+//     for a distribution that is static across many draws (a baseline's
+//     fault-localization weights, a decomposition's component
+//     coefficients).
+//   - Batcher — a batched categorical draw serving m draws in one
+//     O(k + m log m) pass by merging the m sorted uniforms against the
+//     running cumulative weights. Its draws are bit-identical to m
+//     sequential rng.Categorical calls on the same stream, which is what
+//     lets Standard switch over without perturbing any fixed-seed result.
+//
+// All samplers consume exactly one RNG variate (one Float64) per draw and
+// contain no internal randomness or goroutines, so results under a fixed
+// rng.RNG seed are reproducible at any worker count — the same stream
+// discipline the Run driver's per-slot probe streams follow.
+package wrs
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Sampler is a weighted sampler over a fixed number of options: Draw
+// returns an option index distributed proportionally to the sampler's
+// weights, consuming exactly one variate from r.
+type Sampler interface {
+	// Len returns the number of options k.
+	Len() int
+	// Draw samples one option index proportionally to the weights.
+	Draw(r *rng.RNG) int
+}
+
+// validateTotal panics unless total is positive and finite, mirroring
+// rng.Categorical's contract.
+func validateTotal(total float64) {
+	if !(total > 0) || math.IsInf(total, 1) {
+		panic("wrs: sampler requires positive finite total weight")
+	}
+}

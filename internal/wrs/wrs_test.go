@@ -1,0 +1,327 @@
+package wrs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testWeights builds a deterministic, irregular weight vector with a few
+// zero-weight holes — the shape the MWU weight vectors take mid-run.
+func testWeights(k int, seed uint64) []float64 {
+	r := rng.New(seed)
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = r.Float64() * float64(1+i%7)
+		if i%13 == 5 {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// chiSquared checks observed counts against the expected proportions of w
+// with a generous threshold: the 99.9th percentile of χ² grows like
+// df + 4.9·√df for the df sizes used here.
+func chiSquared(t *testing.T, counts []int, w []float64, draws int) {
+	t.Helper()
+	total := 0.0
+	for _, wi := range w {
+		total += wi
+	}
+	chi2 := 0.0
+	df := 0
+	for i, wi := range w {
+		exp := float64(draws) * wi / total
+		if exp == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("zero-weight option %d drawn %d times", i, counts[i])
+			}
+			continue
+		}
+		df++
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+	}
+	df--
+	limit := float64(df) + 4.9*math.Sqrt(float64(df)) + 10
+	if chi2 > limit {
+		t.Fatalf("chi-squared %.1f exceeds %.1f (df=%d): sampler does not match the reference distribution", chi2, limit, df)
+	}
+}
+
+func TestFenwickMatchesNaiveSums(t *testing.T) {
+	w := testWeights(100, 1)
+	f := NewFenwick(w)
+	if f.Len() != 100 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	acc := 0.0
+	for i, wi := range w {
+		if got := f.Weight(i); math.Abs(got-wi) > 1e-12 {
+			t.Fatalf("weight[%d] = %v, want %v", i, got, wi)
+		}
+		if got := f.Prefix(i); math.Abs(got-acc) > 1e-9 {
+			t.Fatalf("prefix(%d) = %v, want %v", i, got, acc)
+		}
+		acc += wi
+	}
+	if got := f.Total(); math.Abs(got-acc) > 1e-9 {
+		t.Fatalf("total = %v, want %v", got, acc)
+	}
+}
+
+func TestFenwickAddSetTracksVector(t *testing.T) {
+	w := testWeights(37, 2)
+	f := NewFenwick(w)
+	r := rng.New(3)
+	for step := 0; step < 1000; step++ {
+		i := r.Intn(len(w))
+		if step%2 == 0 {
+			delta := r.Float64() - 0.3
+			if w[i]+delta < 0 {
+				delta = -w[i]
+			}
+			w[i] += delta
+			f.Add(i, delta)
+		} else {
+			w[i] = r.Float64() * 3
+			f.Set(i, w[i])
+		}
+	}
+	for i, wi := range w {
+		if math.Abs(f.Weight(i)-wi) > 1e-9 {
+			t.Fatalf("after updates weight[%d] = %v, want %v", i, f.Weight(i), wi)
+		}
+	}
+	truth := 0.0
+	for _, wi := range w {
+		truth += wi
+	}
+	if math.Abs(f.Total()-truth) > 1e-9*math.Max(1, truth) {
+		t.Fatalf("total drifted: %v vs %v", f.Total(), truth)
+	}
+}
+
+// TestFenwickDrawMatchesCategorical drives Fenwick and rng.Categorical
+// from identical streams: both consume one Float64 per draw, and the
+// prefix-descent picks the same bucket as the linear scan except when the
+// variate lands within ulps of a bucket boundary (probability ~k·2⁻⁵³), so
+// on fixed seeds the index sequences agree exactly.
+func TestFenwickDrawMatchesCategorical(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 17, 64, 1000} {
+		w := testWeights(k, uint64(10+k))
+		f := NewFenwick(w)
+		ra, rb := rng.New(99), rng.New(99)
+		for d := 0; d < 5000; d++ {
+			want := ra.Categorical(w)
+			got := f.Draw(rb)
+			if got != want {
+				t.Fatalf("k=%d draw %d: fenwick %d, categorical %d", k, d, got, want)
+			}
+		}
+	}
+}
+
+func TestFenwickDrawDistribution(t *testing.T) {
+	w := testWeights(40, 4)
+	f := NewFenwick(w)
+	r := rng.New(5)
+	const draws = 200000
+	counts := make([]int, len(w))
+	for d := 0; d < draws; d++ {
+		counts[f.Draw(r)]++
+	}
+	chiSquared(t, counts, w, draws)
+}
+
+func TestFenwickReloadDiscardsDrift(t *testing.T) {
+	w := testWeights(64, 6)
+	f := NewFenwick(w)
+	// Pile on tiny increments that accumulate associativity drift.
+	for step := 0; step < 100000; step++ {
+		i := step % len(w)
+		f.Add(i, 1e-9)
+		w[i] += 1e-9
+	}
+	f.Reload(w)
+	acc := 0.0
+	for _, wi := range w {
+		acc += wi
+	}
+	if f.Total() != func() float64 { // exact rebuild: totals agree to the ulp of the tree association
+		g := NewFenwick(w)
+		return g.Total()
+	}() {
+		t.Fatal("Reload is not an exact rebuild")
+	}
+	if math.Abs(f.Total()-acc) > 1e-9*acc {
+		t.Fatalf("reloaded total %v far from %v", f.Total(), acc)
+	}
+}
+
+func TestFenwickZeroWeightNeverDrawn(t *testing.T) {
+	w := []float64{0, 3, 0, 0, 2, 0}
+	f := NewFenwick(w)
+	r := rng.New(7)
+	for d := 0; d < 20000; d++ {
+		got := f.Draw(r)
+		if got != 1 && got != 4 {
+			t.Fatalf("drew zero-weight option %d", got)
+		}
+	}
+}
+
+func TestFenwickPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative weight": func() { NewFenwick([]float64{1, -1}) },
+		"nan weight":      func() { NewFenwick([]float64{math.NaN()}) },
+		"zero total draw": func() { NewFenwick([]float64{0, 0}).Draw(rng.New(1)) },
+		"set negative":    func() { NewFenwick([]float64{1}).Set(0, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 40, 257} {
+		w := testWeights(k, uint64(20+k))
+		a := NewAlias(w)
+		if a.Len() != k {
+			t.Fatalf("len = %d", a.Len())
+		}
+		r := rng.New(uint64(30 + k))
+		draws := 100000
+		counts := make([]int, k)
+		for d := 0; d < draws; d++ {
+			counts[a.Draw(r)]++
+		}
+		chiSquared(t, counts, w, draws)
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a := NewAlias([]float64{2.5})
+	r := rng.New(1)
+	for d := 0; d < 100; d++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("singleton draw != 0")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative":   func() { NewAlias([]float64{1, -1}) },
+		"zero total": func() { NewAlias([]float64{0, 0}) },
+		"infinite":   func() { NewAlias([]float64{math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestBatcherBitIdenticalToCategorical is the batched sampler's defining
+// property: for any batch size, the outputs and the RNG stream consumption
+// are exactly those of sequential rng.Categorical calls.
+func TestBatcherBitIdenticalToCategorical(t *testing.T) {
+	var b Batcher
+	for _, k := range []int{1, 2, 3, 16, 100, 1000} {
+		for _, m := range []int{1, 2, 7, 64, 500} {
+			w := testWeights(k, uint64(40+k))
+			ra, rb := rng.New(uint64(50+k*m)), rng.New(uint64(50+k*m))
+			want := make([]int, m)
+			for j := range want {
+				want[j] = ra.Categorical(w)
+			}
+			got := make([]int, m)
+			b.Draw(w, rb, got)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d m=%d draw %d: batched %d, categorical %d", k, m, j, got[j], want[j])
+				}
+			}
+			// Stream positions must also agree: the next variates match.
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("k=%d m=%d: stream positions diverged", k, m)
+			}
+		}
+	}
+}
+
+func TestBatcherExtremeWeights(t *testing.T) {
+	// Heavy skew plus zeros: the merge walk must respect the same
+	// boundaries as the scan, including the slack fallback.
+	w := []float64{0, 1e-300, 5, 0, 1e300, 0, 2, 0}
+	ra, rb := rng.New(77), rng.New(77)
+	const m = 4000
+	want := make([]int, m)
+	for j := range want {
+		want[j] = ra.Categorical(w)
+	}
+	got := make([]int, m)
+	var b Batcher
+	b.Draw(w, rb, got)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("draw %d: batched %d, categorical %d", j, got[j], want[j])
+		}
+	}
+}
+
+func TestBatcherEmptyBatch(t *testing.T) {
+	var b Batcher
+	r := rng.New(1)
+	b.Draw([]float64{1, 2}, r, nil) // must not draw or panic
+	if r.Uint64() != rng.New(1).Uint64() {
+		t.Fatal("empty batch consumed variates")
+	}
+}
+
+func TestBatchedCategoricalConvenience(t *testing.T) {
+	w := testWeights(50, 60)
+	out := make([]int, 100)
+	BatchedCategorical(w, rng.New(2), out)
+	for _, v := range out {
+		if v < 0 || v >= len(w) {
+			t.Fatalf("draw out of range: %d", v)
+		}
+	}
+}
+
+func TestBatcherPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BatchedCategorical([]float64{0, 0}, rng.New(1), make([]int, 1))
+}
+
+// TestSamplerInterfaces pins the Sampler contract to the two draw-only
+// implementations.
+func TestSamplerInterfaces(t *testing.T) {
+	w := testWeights(8, 70)
+	for _, s := range []Sampler{NewFenwick(w), NewAlias(w)} {
+		if s.Len() != 8 {
+			t.Fatalf("len = %d", s.Len())
+		}
+		if v := s.Draw(rng.New(3)); v < 0 || v >= 8 {
+			t.Fatalf("draw out of range: %d", v)
+		}
+	}
+}
