@@ -1,8 +1,9 @@
 # Tier-1 verification plus the race detector and probe-path benchmarks.
 #
-#   make ci          vet + build + race-enabled tests + bench smoke (the full gate)
+#   make ci          vet + build + race-enabled tests + bench smoke + chaos smoke (the full gate)
 #   make test        plain tier-1 tests (ROADMAP.md's definition)
 #   make race        go test -race ./...
+#   make chaos       fault-injection smoke under -race + E11 JSON schema check
 #   make bench       sampling benchmarks at fixed -benchtime -> BENCH_PR2.json
 #   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
@@ -16,9 +17,9 @@ GO ?= go
 # PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
 SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-.PHONY: ci vet build test race bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +32,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos smoke: the resilience test set (fault determinism, cancellation
+# leak checks, crash survival) under the race detector, then a tiny E11
+# run whose -json export must decode against the documented schema.
+chaos:
+	$(GO) test -race -run 'Fault|Cancel|Resilience|Crash|Chaos' ./internal/faults ./internal/mwu ./internal/pool ./internal/core ./internal/baseline ./internal/experiments ./internal/testsuite
+	$(GO) run ./cmd/experiments -resilience -seeds 1 -maxiter 60 -faultrates 0,0.1 -datasets random64 -json /tmp/e11-smoke.json >/dev/null
+	$(GO) run ./cmd/benchjson -validate-resilience /tmp/e11-smoke.json
 
 # The probe-evaluation hot path: sharded cache-hit throughput vs the
 # single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,

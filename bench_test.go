@@ -8,6 +8,8 @@ package repro
 // replication counts; cmd/experiments produces the fully formatted tables.
 
 import (
+	"context"
+
 	"hash/fnv"
 	"sync"
 	"testing"
@@ -47,7 +49,7 @@ func runTableCell(b *testing.B, alg, ds string) {
 			b.Skipf("%s on %s intractable: %v", alg, ds, err)
 		}
 		p := bandit.NewProblem(d.Dist)
-		res := mwu.Run(learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
+		res := mwu.Run(context.Background(), learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
 		iters += float64(res.Iterations)
 		acc += p.Accuracy(res.Choice)
 		cpu += float64(res.CPUIterations)
@@ -217,7 +219,7 @@ func BenchmarkAblationPrecompute(b *testing.B) {
 		r := seed.Split()
 		for i := 0; i < b.N; i++ {
 			mutant, _ := pl.ApplySample(x, r)
-			runner.Eval(mutant)
+			runner.Eval(context.Background(), mutant)
 		}
 	})
 	b.Run("on-the-fly", func(b *testing.B) {
@@ -234,7 +236,7 @@ func BenchmarkAblationPrecompute(b *testing.B) {
 					muts = append(muts, m)
 				}
 			}
-			runner.Eval(mutation.Apply(sc.Program, muts))
+			runner.Eval(context.Background(), mutation.Apply(sc.Program, muts))
 		}
 	})
 }
@@ -276,7 +278,7 @@ func BenchmarkAblationDedupCache(b *testing.B) {
 		r := seed.Split()
 		for i := 0; i < b.N; i++ {
 			mutant, _ := pl.ApplySample(1, r)
-			runner.Eval(mutant)
+			runner.Eval(context.Background(), mutant)
 		}
 	})
 	b.Run("uncached", func(b *testing.B) {
@@ -354,7 +356,7 @@ func BenchmarkRunnerCacheHitThroughput(b *testing.B) {
 
 	b.Run("sharded", func(b *testing.B) {
 		r := testsuite.NewRunner(suite)
-		bench(b, r.Eval)
+		bench(b, func(p *lang.Program) testsuite.Fitness { return r.Eval(context.Background(), p) })
 	})
 	b.Run("mutex", func(b *testing.B) {
 		m := &singleMutexRunner{runner: testsuite.NewRunner(suite), cache: map[uint64]testsuite.Fitness{}}
@@ -402,7 +404,7 @@ func BenchmarkRunnerDuplicateProbeThroughput(b *testing.B) {
 
 	b.Run("sharded", func(b *testing.B) {
 		r := testsuite.NewRunner(suite)
-		bench(b, r.Eval)
+		bench(b, func(p *lang.Program) testsuite.Fitness { return r.Eval(context.Background(), p) })
 		b.ReportMetric(float64(r.Evals())/float64(b.N), "suite-runs/round")
 	})
 	b.Run("mutex", func(b *testing.B) {
@@ -424,7 +426,7 @@ func BenchmarkAblationEta(b *testing.B) {
 				seed := rng.New(uint64(0xE7A + i))
 				learner := mwu.NewStandard(mwu.StandardConfig{K: d.Size, Agents: 16, Eta: eta}, seed.Split())
 				p := bandit.NewProblem(d.Dist)
-				res := mwu.Run(learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
+				res := mwu.Run(context.Background(), learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
 				iters += float64(res.Iterations)
 				acc += p.Accuracy(res.Choice)
 				count++
@@ -443,7 +445,7 @@ func BenchmarkPoolPrecompute(b *testing.B) {
 		b.Run("workers="+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				seed := rng.New(uint64(0x9001 + i))
-				pl := pool.Precompute(sc.Program, sc.Suite, pool.Config{Target: 100, Workers: workers}, seed)
+				pl := pool.Precompute(context.Background(), sc.Program, sc.Suite, pool.Config{Target: 100, Workers: workers}, seed)
 				if pl.Size() == 0 {
 					b.Fatal("empty pool")
 				}
@@ -492,7 +494,7 @@ func BenchmarkAblationRewardPolicy(b *testing.B) {
 			var arm float64
 			count := 0
 			for i := 0; i < b.N; i++ {
-				res, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, rng.New(uint64(100+i)), core.Config{
+				res, err := core.RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, rng.New(uint64(100+i)), core.Config{
 					MaxIter: 300,
 					Workers: 8,
 					MaxX:    100,
@@ -522,7 +524,7 @@ func BenchmarkAblationConvergenceTolerance(b *testing.B) {
 				seed := rng.New(uint64(0x701 + i))
 				learner := mwu.NewStandard(mwu.StandardConfig{K: d.Size, Agents: 16, Tol: tol}, seed.Split())
 				p := bandit.NewProblem(d.Dist)
-				res := mwu.Run(learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
+				res := mwu.Run(context.Background(), learner, p, seed.Split(), mwu.RunConfig{MaxIter: 10000, Workers: 1})
 				iters += float64(res.Iterations)
 				acc += p.Accuracy(res.Choice)
 				count++

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bandit"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/mwu"
 	"repro/internal/rng"
 )
@@ -27,6 +30,10 @@ func main() {
 		maxIter = flag.Int("maxiter", 10000, "iteration limit")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trace   = flag.Int("trace", 0, "print a trace line every N iterations (0 = off)")
+
+		faultRate = flag.Float64("faultrate", 0, "inject probe faults at this base rate (0 = off)")
+		managed   = flag.Bool("managed", false, "arm default timeout/retry/hedge policies against injected faults")
+		cutoff    = flag.Int("cutoff", 0, "straggler cutoff in virtual ticks (0 = wait stragglers out)")
 	)
 	flag.Parse()
 
@@ -42,7 +49,7 @@ func main() {
 		fatal(err)
 	}
 	r := rng.New(*seed)
-	learner, err := mwu.New(*alg, ds.Size, r.Split())
+	learner, err := mwu.NewLearner(mwu.Config{Algorithm: *alg, K: ds.Size}, r.Split())
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +59,13 @@ func main() {
 		*alg, ds.Name, ds.Size, ds.Dist.Best(), ds.Dist.BestValue())
 	fmt.Printf("agents per iteration: %d\n", learner.Agents())
 
-	cfg := mwu.RunConfig{MaxIter: *maxIter, Workers: 1}
+	cfg := mwu.RunConfig{MaxIter: *maxIter, Workers: 1, StragglerCutoff: *cutoff}
+	if *faultRate > 0 {
+		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
+	}
+	if *managed {
+		cfg.Policies = faults.DefaultPolicies()
+	}
 	if *trace > 0 {
 		every := *trace
 		cfg.OnIteration = func(iter int, l mwu.Learner) bool {
@@ -63,7 +76,7 @@ func main() {
 			return false
 		}
 	}
-	res := mwu.Run(learner, problem, r.Split(), cfg)
+	res := mwu.Run(context.Background(), learner, problem, r.Split(), cfg)
 
 	fmt.Printf("converged: %v after %d update cycles\n", res.Converged, res.Iterations)
 	fmt.Printf("choice: arm %d (value %.4f, accuracy %.2f%%)\n",
@@ -71,6 +84,9 @@ func main() {
 	m := learner.Metrics()
 	fmt.Printf("cost: %d probes, %d CPU-iterations, congestion max %d mean %.1f, memory %d floats/node\n",
 		m.Probes, m.CPUIterations, m.MaxCongestion, m.MeanCongestion(), m.MemoryFloats)
+	if m.Faults.Any() {
+		fmt.Printf("faults: %s (degraded: %v)\n", m.Faults.String(), res.Degraded)
+	}
 }
 
 func fatal(err error) {

@@ -64,9 +64,50 @@ func parseLine(line string) (record, bool) {
 	return r, true
 }
 
+// validateResilience decodes an `experiments -resilience -json` export
+// and checks the documented schema keys are present — the CI chaos
+// smoke's end-to-end guard that the E11 export stays machine-readable.
+func validateResilience(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var cells []map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &cells); err != nil {
+		return fmt.Errorf("%s: not a JSON array of objects: %w", path, err)
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("%s: empty cell array", path)
+	}
+	required := []string{
+		"algorithm", "mode", "faultRate", "runs", "convergedRuns", "degradedRuns",
+		"iterationsMean", "accuracyMean", "faultsInjected", "stalledCycles",
+		"missing", "retries", "timeouts", "hedgesWon", "crashes", "restarts",
+		"msgDropped", "survivorsMean",
+	}
+	for i, c := range cells {
+		for _, key := range required {
+			if _, ok := c[key]; !ok {
+				return fmt.Errorf("%s: cell %d missing key %q", path, i, key)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d resilience cells, schema ok\n", path, len(cells))
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	resilienceFile := flag.String("validate-resilience", "", "validate an `experiments -resilience -json` export instead of converting benchmarks")
 	flag.Parse()
+
+	if *resilienceFile != "" {
+		if err := validateResilience(*resilienceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var records []record
 	sc := bufio.NewScanner(os.Stdin)

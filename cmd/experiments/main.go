@@ -7,6 +7,7 @@
 //	experiments -figures              # Figures 4a and 4b
 //	experiments -costmodel            # Sec. IV-E/F cost model demo
 //	experiments -apr                  # Sec. IV-G APR comparison
+//	experiments -resilience           # E11: fault injection & degradation
 //	experiments -all                  # everything
 //
 // Common options:
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -63,10 +65,12 @@ func main() {
 		jsonOut    = flag.String("json", "", "also write -tables cells as JSON to this file")
 		sweep      = flag.String("sweep", "", "parameter sensitivity sweep: eta | gamma | mu | beta (Sec. VI)")
 		corpus     = flag.Int("corpus", 0, "run MWRepair on N randomly generated scenarios (Sec. VI corpus study)")
+		resilience = flag.Bool("resilience", false, "run E11: convergence under injected faults (raw vs managed policies)")
+		faultRates = flag.String("faultrates", "", "comma-separated fault rates for -resilience (default 0,0.02,0.05,0.1,0.2)")
 	)
 	flag.Parse()
 
-	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0) {
+	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0 || *resilience) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,5 +148,36 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.RenderCorpus(res))
+	}
+	if *all || *resilience {
+		spec := experiments.ResilienceSpec{
+			Seeds:   *seeds,
+			MaxIter: *maxIter,
+		}
+		if *datasets != "" {
+			spec.Dataset = strings.Split(*datasets, ",")[0]
+		}
+		if *faultRates != "" {
+			for _, tok := range strings.Split(*faultRates, ",") {
+				r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: bad -faultrates:", err)
+					os.Exit(1)
+				}
+				spec.FaultRates = append(spec.FaultRates, r)
+			}
+		}
+		cells, err := experiments.RunResilience(spec)
+		if err != nil {
+			// The message-passing engine is the one runner that can fail
+			// (intractable population); surface it instead of printing a
+			// half-empty table.
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderResilience(spec, cells))
+		if *jsonOut != "" && !*tables && !*all {
+			writeFile(*jsonOut, func(f *os.File) error { return experiments.WriteResilienceJSON(f, cells) })
+		}
 	}
 }

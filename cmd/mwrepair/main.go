@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mutation"
 	"repro/internal/pool"
 	"repro/internal/rng"
@@ -37,6 +40,11 @@ func main() {
 		savePool = flag.String("savepool", "", "write the precomputed pool to this file")
 		loadPool = flag.String("loadpool", "", "read a previously saved pool instead of precomputing")
 		verbose  = flag.Bool("v", false, "print the defective program and the repaired program")
+
+		faultRate = flag.Float64("faultrate", 0, "inject probe faults at this base rate (0 = off)")
+		managed   = flag.Bool("managed", false, "arm default timeout/retry/hedge policies against injected faults")
+		cutoff    = flag.Int("cutoff", 0, "straggler cutoff in virtual ticks (0 = wait stragglers out)")
+		timeout   = flag.Duration("timeout", 0, "cancel the repair after this wall-clock budget (0 = none)")
 	)
 	flag.Parse()
 
@@ -93,20 +101,42 @@ func main() {
 		fmt.Printf("  pool saved to %s\n", *savePool)
 	}
 
+	cfg := core.Config{
+		MaxIter:         *maxIter,
+		Workers:         *workers,
+		MaxX:            prof.Options,
+		StragglerCutoff: *cutoff,
+	}
+	if *faultRate > 0 {
+		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
+	}
+	if *managed {
+		cfg.Policies = faults.DefaultPolicies()
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	t0 := time.Now()
-	res, err := core.RepairWithAlgorithm(*alg, pl, sc.Suite, r.Split(), core.Config{
-		MaxIter: *maxIter,
-		Workers: *workers,
-		MaxX:    prof.Options,
-	})
+	res, err := core.RepairWithAlgorithm(ctx, *alg, pl, sc.Suite, r.Split(), cfg)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(t0).Round(time.Millisecond)
 
+	if res.Faults.Any() {
+		fmt.Printf("  faults: %s (degraded: %v)\n", res.Faults.String(), res.Degraded)
+	}
 	if !res.Repaired {
-		fmt.Printf("phase 2: NO repair found in %d iterations (%d probes, %d fitness evals, %v)\n",
-			res.Iterations, res.Probes, res.FitnessEvals, elapsed)
+		state := "NO repair found"
+		if res.Cancelled {
+			state = "CANCELLED before a repair"
+		}
+		fmt.Printf("phase 2: %s in %d iterations (%d probes, %d fitness evals, %v)\n",
+			state, res.Iterations, res.Probes, res.FitnessEvals, elapsed)
 		fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
 			res.CacheHits, res.DedupSuppressed, res.ShardContention)
 		os.Exit(1)

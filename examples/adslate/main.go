@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -38,7 +40,7 @@ func main() {
 	problem := bandit.NewProblem(dist.New("ads", ctr))
 
 	learner := mwu.NewSlate(mwu.SlateConfig{K: k, N: slots, Gamma: 0.05, Eta: 0.02}, seed.Split())
-	res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 10000})
+	res := mwu.Run(context.Background(), learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 10000})
 
 	fmt.Printf("after %d page views (converged: %v):\n", res.Iterations, res.Converged)
 	fmt.Printf("  top learned ad: #%d (true CTR %.3f; best possible %.3f)\n",

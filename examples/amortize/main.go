@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -34,7 +36,7 @@ func main() {
 
 	// Bug arrives: run the online phase against the existing pool.
 	t0 = time.Now()
-	res, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, seed.Split(), core.Config{
+	res, err := core.RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed.Split(), core.Config{
 		MaxIter: 2000, Workers: 8, MaxX: prof.Options,
 	})
 	if err != nil {
@@ -73,7 +75,7 @@ func main() {
 
 	// And the retained pool still contains what the NEXT bug needs: the
 	// online phase runs immediately, no precompute in the loop.
-	res2, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, seed.Split(), core.Config{
+	res2, err := core.RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed.Split(), core.Config{
 		MaxIter: 2000, Workers: 8, MaxX: prof.Options,
 	})
 	if err != nil {

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/bandit"
@@ -30,7 +32,7 @@ func main() {
 		Eta:    0.05, // learning rate
 	}, seed.Split())
 
-	res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 5000})
+	res := mwu.Run(context.Background(), learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 5000})
 
 	fmt.Printf("converged: %v after %d update cycles\n", res.Converged, res.Iterations)
 	fmt.Printf("learned option %d (true success rate %.2f; best possible %.2f)\n",

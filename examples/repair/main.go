@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -38,7 +40,7 @@ func main() {
 
 	// Phase 2: online MWU-guided composition search.
 	t0 = time.Now()
-	res, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, seed.Split(), core.Config{
+	res, err := core.RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed.Split(), core.Config{
 		MaxIter: 2000,
 		Workers: 8,
 		MaxX:    prof.Options,
@@ -60,7 +62,7 @@ func main() {
 	}
 
 	// Double-check the patch against a fresh runner.
-	if f := testsuite.NewRunner(sc.Suite).Eval(res.Program); !f.Repair() {
+	if f := testsuite.NewRunner(sc.Suite).Eval(context.Background(), res.Program); !f.Repair() {
 		panic("patch verification failed")
 	}
 	fmt.Println("  patch independently verified: all tests pass")

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -47,7 +49,7 @@ func main() {
 		Alpha:   0.01,
 	}
 
-	res, err := mwu.RunMessagePassing(cfg, problem, seed.Split(), 500)
+	res, err := mwu.RunMessagePassing(context.Background(), cfg, problem, seed.Split(), 500)
 	if err != nil {
 		panic(err)
 	}

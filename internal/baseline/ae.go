@@ -25,6 +25,7 @@ import (
 // comparison exposes.
 func AE(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	cfg.fill()
+	pr.configureFaults(cfg)
 	res := Result{Algorithm: "AE"}
 
 	targets := pr.Targets()
@@ -67,5 +68,6 @@ done:
 	res.FitnessEvals = pr.runner.Evals()
 	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
+	pr.faultResult(&res)
 	return res
 }

@@ -15,6 +15,9 @@
 package baseline
 
 import (
+	"context"
+
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mutation"
 	"repro/internal/rng"
@@ -44,6 +47,13 @@ type Result struct {
 	Latency int64
 	// Generations counts GA generations (GenProg only).
 	Generations int
+	// Faults is the resilience ledger: candidate-evaluation faults
+	// injected into the run and the retries that absorbed them (zero
+	// without an injector).
+	Faults faults.Stats
+	// Degraded reports that faults cost the search candidates (a faulted
+	// evaluation whose retries ran out scores as a failed candidate).
+	Degraded bool
 }
 
 // Config bounds a baseline run.
@@ -60,6 +70,13 @@ type Config struct {
 	// NegWeight is the weighted-fitness multiplier for bug-inducing tests
 	// (GenProg uses 10).
 	NegWeight float64
+	// Faults, when non-nil, injects candidate-evaluation faults into the
+	// baseline's serial loop (keyed by candidate sequence number, so the
+	// schedule is seed-deterministic).
+	Faults *faults.Injector
+	// Retry re-issues faulted candidate evaluations; the zero value
+	// retries nothing.
+	Retry faults.Retry
 }
 
 func (c *Config) fill() {
@@ -93,6 +110,14 @@ type Problem struct {
 	// draw one mutation per candidate, thousands of times per repair.
 	targetAlias *wrs.Alias
 	runner      *testsuite.Runner
+
+	// Fault-injection state (configured per run by configureFaults):
+	// these searches are serial, so plain counters suffice.
+	inj      *faults.Injector
+	retry    faults.Retry
+	seq      int
+	fstats   faults.Stats
+	degraded bool
 }
 
 // NewProblem builds the shared search state, including GenProg-style fault
@@ -164,9 +189,60 @@ func (pr *Problem) randomMutation(r *rng.RNG) mutation.Mutation {
 	return m
 }
 
+// configureFaults arms (or disarms) fault injection for one run; every
+// baseline entry point calls it after filling its config.
+func (pr *Problem) configureFaults(cfg Config) {
+	pr.inj = cfg.Faults
+	pr.retry = cfg.Retry
+	pr.seq = 0
+	pr.fstats = faults.Stats{}
+	pr.degraded = false
+}
+
 // evaluate scores a patch, returning its fitness and whether it repairs.
+// Under fault injection, the evaluation's fate is decided first: a
+// straggler merely slows a serial tool (counted, then evaluated anyway),
+// while a hang/loss/panic consumes the candidate unless a Retry re-issues
+// it — a baseline has no barrier to stall, it just wastes the trial.
 func (pr *Problem) evaluate(patch []mutation.Mutation) (testsuite.Fitness, bool) {
+	if pr.inj.Enabled() {
+		seq := pr.seq
+		pr.seq++
+		for attempt := 0; ; attempt++ {
+			kind := pr.inj.ProbeFault(0, seq, attempt)
+			if kind == faults.None {
+				break
+			}
+			pr.fstats.Injected++
+			switch kind {
+			case faults.Straggle:
+				pr.fstats.Stragglers++
+			case faults.Hang:
+				pr.fstats.Hangs++
+			case faults.Loss:
+				pr.fstats.Losses++
+			case faults.Panic:
+				pr.fstats.Panics++
+			}
+			if kind == faults.Straggle {
+				break // late, not lost: the serial loop just waits it out
+			}
+			if pr.retry.Enabled() && attempt < pr.retry.Max {
+				pr.fstats.Retries++
+				continue
+			}
+			pr.fstats.Missing++
+			pr.degraded = true
+			return testsuite.Fitness{}, false
+		}
+	}
 	mutant := mutation.Apply(pr.Program, patch)
-	f := pr.runner.Eval(mutant)
+	f := pr.runner.Eval(context.Background(), mutant)
 	return f, f.Repair()
+}
+
+// faultResult copies the run's fault ledger into a baseline result.
+func (pr *Problem) faultResult(res *Result) {
+	res.Faults = pr.fstats
+	res.Degraded = pr.degraded
 }

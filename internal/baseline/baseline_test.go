@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/mutation"
@@ -67,7 +69,7 @@ func TestGenProgRepairs(t *testing.T) {
 	}
 	// Verify the patch.
 	runner := testsuite.NewRunner(sc.Suite)
-	if !runner.Eval(mutation.Apply(sc.Program, res.Patch)).Repair() {
+	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, res.Patch)).Repair() {
 		t.Fatal("reported patch does not repair")
 	}
 	if res.FitnessEvals <= 0 || res.Latency <= 0 {
@@ -83,7 +85,7 @@ func TestRSRepairRepairs(t *testing.T) {
 		t.Fatalf("RSRepair failed after %d evals", res.FitnessEvals)
 	}
 	runner := testsuite.NewRunner(sc.Suite)
-	if !runner.Eval(mutation.Apply(sc.Program, res.Patch)).Repair() {
+	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, res.Patch)).Repair() {
 		t.Fatal("reported patch does not repair")
 	}
 }

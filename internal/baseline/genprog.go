@@ -13,6 +13,7 @@ import (
 // shared with MWRepair.
 func GenProg(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	cfg.fill()
+	pr.configureFaults(cfg)
 	res := Result{Algorithm: "GenProg"}
 
 	type indiv struct {
@@ -84,5 +85,6 @@ func GenProg(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	res.FitnessEvals = pr.runner.Evals()
 	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
+	pr.faultResult(&res)
 	return res
 }

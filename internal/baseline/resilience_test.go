@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// TestBaselineFaultInjection: a serial baseline under candidate faults
+// loses the faulted candidates (Missing, Degraded) unless a Retry policy
+// re-issues them; stragglers never cost anything but time.
+func TestBaselineFaultInjection(t *testing.T) {
+	sc := smallScenario(t, 7)
+
+	raw := Config{
+		MaxEvals: 300,
+		Faults:   faults.New(faults.Config{Seed: 9, Hang: 0.3, Panic: 0.1, Straggle: 0.2}),
+	}
+	pr := NewProblem(sc.Program, sc.Suite)
+	res := RSRepair(pr, rng.New(8), raw)
+	if res.Faults.Injected == 0 {
+		t.Fatal("no faults injected into RSRepair at 60% combined rate")
+	}
+	if res.Faults.Missing == 0 || !res.Degraded {
+		t.Fatalf("silent faults without retry must cost candidates: %+v degraded=%v",
+			res.Faults, res.Degraded)
+	}
+	if res.Faults.Stragglers == 0 {
+		t.Fatal("no stragglers recorded")
+	}
+
+	managed := raw
+	managed.Retry = faults.Retry{Max: 4, BaseTicks: 1, CapTicks: 8}
+	pr2 := NewProblem(sc.Program, sc.Suite)
+	res2 := RSRepair(pr2, rng.New(8), managed)
+	if res2.Faults.Retries == 0 {
+		t.Fatal("no retries under Retry{Max: 4}")
+	}
+	if res2.Faults.Missing >= res.Faults.Missing {
+		t.Fatalf("retries did not reduce missing candidates: %d raw vs %d managed",
+			res.Faults.Missing, res2.Faults.Missing)
+	}
+}
+
+// TestBaselineFaultFreeRunsUnchanged: without an injector the ledger is
+// zero and results match a config that never mentions faults.
+func TestBaselineFaultFreeRunsUnchanged(t *testing.T) {
+	sc := smallScenario(t, 7)
+	a := RSRepair(NewProblem(sc.Program, sc.Suite), rng.New(8), Config{MaxEvals: 200})
+	b := RSRepair(NewProblem(sc.Program, sc.Suite), rng.New(8), Config{MaxEvals: 200, Retry: faults.Retry{Max: 3, BaseTicks: 1}})
+	if a.Faults.Any() || b.Faults.Any() {
+		t.Fatalf("fault ledger non-zero without an injector: %+v %+v", a.Faults, b.Faults)
+	}
+	if a.Repaired != b.Repaired || a.CandidatesTried != b.CandidatesTried || a.FitnessEvals != b.FitnessEvals {
+		t.Fatalf("inert Retry changed the run: %+v vs %+v", a, b)
+	}
+}

@@ -13,6 +13,7 @@ import (
 // like the original tool.
 func RSRepair(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	cfg.fill()
+	pr.configureFaults(cfg)
 	res := Result{Algorithm: "RSRepair"}
 	for pr.runner.Evals() < cfg.MaxEvals {
 		// 1 or 2 edits per candidate, matching the tool's shallow search.
@@ -31,5 +32,6 @@ func RSRepair(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	res.FitnessEvals = pr.runner.Evals()
 	res.CacheHits = pr.runner.CacheHits()
 	res.Latency = res.CandidatesTried
+	pr.faultResult(&res)
 	return res
 }

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -19,7 +21,7 @@ func ExampleRepairWithAlgorithm() {
 	seed := rng.New(42)
 	pl := sc.BuildPool(4, seed.Split())
 
-	res, err := core.RepairWithAlgorithm("standard", pl, sc.Suite, seed.Split(), core.Config{
+	res, err := core.RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed.Split(), core.Config{
 		MaxIter: 2000, Workers: 1, MaxX: 20,
 	})
 	if err != nil {

@@ -21,10 +21,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/bandit"
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mutation"
 	"repro/internal/mwu"
@@ -72,6 +74,14 @@ type Config struct {
 	// ThroughputScale overrides DefaultThroughputScale for the
 	// RewardThroughput policy; 0 means the default.
 	ThroughputScale int
+	// Faults, when non-nil, injects probe-evaluation faults into the
+	// online loop (threaded through to mwu.Run).
+	Faults *faults.Injector
+	// Policies are the degradation responses to injected faults.
+	Policies faults.Policies
+	// StragglerCutoff (virtual ticks) drops straggler rewards later than
+	// the cutoff as missing; 0 waits stragglers out.
+	StragglerCutoff int
 }
 
 // Result summarizes one repair attempt.
@@ -106,6 +116,15 @@ type Result struct {
 	LearnedArm int
 	// Agents is the per-iteration parallelism the learner used.
 	Agents int
+	// Cancelled reports the context was cancelled mid-search; the result
+	// is the best-so-far partial answer.
+	Cancelled bool
+	// Degraded reports fault injection left a mark on the run (missing
+	// rewards, stalled cycles, or cancellation). Details are in Faults.
+	Degraded bool
+	// Faults is the resilience ledger for the online phase: faults
+	// injected, retries, timeouts, hedges won (zero without an injector).
+	Faults faults.Stats
 }
 
 // repairOracle adapts (pool, suite) to the bandit.Oracle interface. Arm i
@@ -172,8 +191,13 @@ func (o *repairOracle) repair() ([]mutation.Mutation, *lang.Program) {
 
 // Repair runs the online phase with the given learner over a precomputed
 // pool. The learner's arm count must equal min(cfg.MaxX, pool size); use
-// Arms to compute it before constructing the learner.
-func Repair(pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rng.RNG, cfg Config) Result {
+// Arms to compute it before constructing the learner. Cancelling the
+// context returns the best-so-far partial result with Cancelled set;
+// cfg.Faults/cfg.Policies thread fault injection and graceful degradation
+// into the online loop, with the outcome reported in Result.Faults and
+// Result.Degraded — the search degrades or stalls per the learner's
+// synchronization discipline instead of hanging.
+func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rng.RNG, cfg Config) Result {
 	k := Arms(pl, cfg)
 	if learner.K() != k {
 		panic(fmt.Sprintf("core: learner has %d arms, repair problem has %d", learner.K(), k))
@@ -184,9 +208,12 @@ func Repair(pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rn
 	runner := testsuite.NewRunner(suite)
 	oracle := &repairOracle{pl: pl, runner: runner, k: k, policy: cfg.Reward, scale: cfg.ThroughputScale}
 
-	runRes := mwu.Run(learner, oracle, seed, mwu.RunConfig{
-		MaxIter: cfg.MaxIter,
-		Workers: cfg.Workers,
+	runRes := mwu.Run(ctx, learner, oracle, seed, mwu.RunConfig{
+		MaxIter:         cfg.MaxIter,
+		Workers:         cfg.Workers,
+		Faults:          cfg.Faults,
+		Policies:        cfg.Policies,
+		StragglerCutoff: cfg.StragglerCutoff,
 		OnIteration: func(iter int, l mwu.Learner) bool {
 			patch, _ := oracle.repair()
 			return patch != nil // Fig. 6 line 8: terminate early on repair
@@ -212,6 +239,9 @@ func Repair(pl *pool.Pool, suite *testsuite.Suite, learner mwu.Learner, seed *rn
 		ShardContention: m.ShardContention,
 		LearnedArm:      runRes.Choice + 1,
 		Agents:          learner.Agents(),
+		Cancelled:       runRes.Cancelled,
+		Degraded:        runRes.Degraded,
+		Faults:          m.Faults,
 	}
 	return res
 }
@@ -232,11 +262,11 @@ func Arms(pl *pool.Pool, cfg Config) int {
 // RepairWithAlgorithm is the convenience entry point: it builds the named
 // MWU learner with evaluation defaults and runs Repair. Distributed
 // configurations beyond the tractability bound return an error.
-func RepairWithAlgorithm(algorithm string, pl *pool.Pool, suite *testsuite.Suite, seed *rng.RNG, cfg Config) (Result, error) {
+func RepairWithAlgorithm(ctx context.Context, algorithm string, pl *pool.Pool, suite *testsuite.Suite, seed *rng.RNG, cfg Config) (Result, error) {
 	k := Arms(pl, cfg)
-	learner, err := mwu.New(algorithm, k, seed.Split())
+	learner, err := mwu.NewLearner(mwu.Config{Algorithm: algorithm, K: k}, seed.Split())
 	if err != nil {
 		return Result{}, err
 	}
-	return Repair(pl, suite, learner, seed.Split(), cfg), nil
+	return Repair(ctx, pl, suite, learner, seed.Split(), cfg), nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/mutation"
@@ -37,7 +39,7 @@ func TestRepairFindsPatchStandard(t *testing.T) {
 	sc, pl := smallScenario(t, 2)
 	seed := rng.New(10)
 	cfg := Config{MaxIter: 2000, Workers: 4, MaxX: 20}
-	res, err := RepairWithAlgorithm("standard", pl, sc.Suite, seed, cfg)
+	res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +49,10 @@ func TestRepairFindsPatchStandard(t *testing.T) {
 	// The reported patch must actually repair the program.
 	runner := testsuite.NewRunner(sc.Suite)
 	mutant := mutation.Apply(sc.Program, res.Patch)
-	if !runner.Eval(mutant).Repair() {
+	if !runner.Eval(context.Background(), mutant).Repair() {
 		t.Fatal("reported patch does not repair")
 	}
-	if res.Program == nil || !runner.Eval(res.Program).Repair() {
+	if res.Program == nil || !runner.Eval(context.Background(), res.Program).Repair() {
 		t.Fatal("reported program is not a repair")
 	}
 }
@@ -59,7 +61,7 @@ func TestRepairAllAlgorithms(t *testing.T) {
 	sc, pl := smallScenario(t, 3)
 	for _, alg := range mwu.Names {
 		seed := rng.New(20)
-		res, err := RepairWithAlgorithm(alg, pl, sc.Suite, seed, Config{MaxIter: 3000, Workers: 4, MaxX: 20})
+		res, err := RepairWithAlgorithm(context.Background(), alg, pl, sc.Suite, seed, Config{MaxIter: 3000, Workers: 4, MaxX: 20})
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -74,7 +76,7 @@ func TestRepairEarlyTermination(t *testing.T) {
 	// iteration of the capture).
 	sc, pl := smallScenario(t, 4)
 	seed := rng.New(30)
-	res, err := RepairWithAlgorithm("standard", pl, sc.Suite, seed, Config{MaxIter: 5000, Workers: 1, MaxX: 20})
+	res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed, Config{MaxIter: 5000, Workers: 1, MaxX: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestRepairEarlyTermination(t *testing.T) {
 func TestRepairDeterministicUnderSeed(t *testing.T) {
 	sc, pl := smallScenario(t, 5)
 	run := func() Result {
-		res, err := RepairWithAlgorithm("standard", pl, sc.Suite, rng.New(40), Config{MaxIter: 1000, Workers: 1, MaxX: 20})
+		res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, rng.New(40), Config{MaxIter: 1000, Workers: 1, MaxX: 20})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,12 +122,12 @@ func TestRepairLearnerMismatchPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Repair(pl, sc.Suite, learner, rng.New(2), Config{MaxX: 20})
+	Repair(context.Background(), pl, sc.Suite, learner, rng.New(2), Config{MaxX: 20})
 }
 
 func TestRepairUnknownAlgorithm(t *testing.T) {
 	sc, pl := smallScenario(t, 7)
-	if _, err := RepairWithAlgorithm("nope", pl, sc.Suite, rng.New(1), Config{MaxX: 5}); err == nil {
+	if _, err := RepairWithAlgorithm(context.Background(), "nope", pl, sc.Suite, rng.New(1), Config{MaxX: 5}); err == nil {
 		t.Fatal("expected error")
 	}
 	_ = sc
@@ -164,7 +166,7 @@ func TestRewardPolicies(t *testing.T) {
 
 func TestFitnessEvalsCounted(t *testing.T) {
 	sc, pl := smallScenario(t, 9)
-	res, err := RepairWithAlgorithm("standard", pl, sc.Suite, rng.New(60), Config{MaxIter: 50, Workers: 1, MaxX: 20})
+	res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, rng.New(60), Config{MaxIter: 50, Workers: 1, MaxX: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +185,7 @@ func TestFitnessEvalsCounted(t *testing.T) {
 
 func TestLearnedArmInRange(t *testing.T) {
 	sc, pl := smallScenario(t, 11)
-	res, err := RepairWithAlgorithm("standard", pl, sc.Suite, rng.New(70), Config{MaxIter: 200, Workers: 2, MaxX: 20})
+	res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, rng.New(70), Config{MaxIter: 200, Workers: 2, MaxX: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// TestRepairUnderFaults: fault injection threads end to end through the
+// repair driver — the ledger lands in Result.Faults, degradation is
+// flagged, and a managed run still finds the repair.
+func TestRepairUnderFaults(t *testing.T) {
+	sc, pl := smallScenario(t, 3)
+	seed := rng.New(11)
+	cfg := Config{
+		MaxIter:         2000,
+		Workers:         4,
+		MaxX:            20,
+		Faults:          faults.New(faults.Uniform(5, 0.1)),
+		Policies:        faults.DefaultPolicies(),
+		StragglerCutoff: 300,
+	}
+	res, err := RepairWithAlgorithm(context.Background(), "standard", pl, sc.Suite, seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Faults.Any() {
+		t.Fatal("no faults recorded at rate 0.1")
+	}
+	if !res.Repaired {
+		t.Fatalf("managed run failed to repair: %d iterations, faults %+v", res.Iterations, res.Faults)
+	}
+}
+
+// TestRepairCancellation: a cancelled context yields the best-so-far
+// partial result, flagged, without error.
+func TestRepairCancellation(t *testing.T) {
+	sc, pl := smallScenario(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RepairWithAlgorithm(ctx, "standard", pl, sc.Suite, rng.New(12), Config{MaxIter: 2000, Workers: 4, MaxX: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled || !res.Degraded {
+		t.Fatalf("cancelled repair not flagged: %+v", res)
+	}
+	if res.Repaired {
+		t.Fatal("pre-cancelled run claims a repair")
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("pre-cancelled run iterated %d times", res.Iterations)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -117,7 +119,7 @@ func RunAPR(spec APRSpec) (*APRSummary, error) {
 		} else if spec.MaxX == 0 && maxX > 256 {
 			maxX = 256
 		}
-		mwRes, err := core.RepairWithAlgorithm(spec.Algorithm, pl, sc.Suite, seed.Split(), core.Config{
+		mwRes, err := core.RepairWithAlgorithm(context.Background(), spec.Algorithm, pl, sc.Suite, seed.Split(), core.Config{
 			MaxIter: spec.MaxIter,
 			Workers: spec.Workers,
 			MaxX:    maxX,

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -99,7 +101,7 @@ func RunCorpus(spec CorpusSpec) (*CorpusResult, error) {
 		prof := randomProfile(i, r)
 		sc := scenario.Generate(prof)
 		pl := sc.BuildPool(spec.Workers, r.Split())
-		out, err := core.RepairWithAlgorithm(spec.Algorithm, pl, sc.Suite, r.Split(), core.Config{
+		out, err := core.RepairWithAlgorithm(context.Background(), spec.Algorithm, pl, sc.Suite, r.Split(), core.Config{
 			MaxIter: spec.MaxIter,
 			Workers: spec.Workers,
 			MaxX:    prof.Options,

@@ -13,6 +13,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"runtime"
 	"sort"
@@ -104,13 +106,13 @@ func RunCell(algorithm string, ds *dataset.Dataset, spec Spec) Cell {
 	cell := Cell{Dataset: ds.Name, Kind: ds.Kind, Size: ds.Size, Algorithm: algorithm}
 	for s := 0; s < spec.Seeds; s++ {
 		seed := rng.New(spec.BaseSeed ^ (uint64(s+1) * 0x9e3779b97f4a7c15))
-		learner, err := mwu.New(algorithm, ds.Size, seed.Split())
+		learner, err := mwu.NewLearner(mwu.Config{Algorithm: algorithm, K: ds.Size}, seed.Split())
 		if err != nil {
 			cell.Intractable = true
 			return cell
 		}
 		problem := bandit.NewProblem(ds.Dist)
-		res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{
+		res := mwu.Run(context.Background(), learner, problem, seed.Split(), mwu.RunConfig{
 			MaxIter: spec.MaxIter,
 			Workers: 1, // probes here are cheap Bernoulli draws
 		})

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func tinyResilienceSpec() ResilienceSpec {
+	return ResilienceSpec{
+		Dataset:    "random64",
+		FaultRates: []float64{0, 0.1},
+		Seeds:      1,
+		MaxIter:    60,
+		Workers:    2,
+	}
+}
+
+// TestRunResilienceShape: E11 produces one raw+managed cell pair per
+// synchronous algorithm and one cell for the message-passing engine, per
+// fault rate — and the faulted cells actually saw faults.
+func TestRunResilienceShape(t *testing.T) {
+	cells, err := RunResilience(tinyResilienceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rates × (3 algorithms × 2 modes + 1 MP cell).
+	if len(cells) != 2*7 {
+		t.Fatalf("got %d cells, want 14", len(cells))
+	}
+	var faulted, clean int
+	for _, c := range cells {
+		if c.Runs != 1 {
+			t.Fatalf("cell %s/%s@%g ran %d times, want 1", c.Algorithm, c.Mode, c.FaultRate, c.Runs)
+		}
+		if c.FaultRate == 0 {
+			if c.Faults.Any() {
+				t.Fatalf("cell %s/%s@0 has faults: %+v", c.Algorithm, c.Mode, c.Faults)
+			}
+			clean++
+		} else if c.Faults.Injected > 0 || c.Faults.Crashes > 0 || c.Faults.MsgDropped > 0 {
+			faulted++
+		}
+	}
+	if clean != 7 {
+		t.Fatalf("%d clean cells, want 7", clean)
+	}
+	if faulted != 7 {
+		t.Fatalf("only %d of 7 rate-0.1 cells recorded faults", faulted)
+	}
+}
+
+// TestResilienceJSONSchema: the -resilience -json export decodes against
+// the documented schema — the check the CI chaos smoke performs.
+func TestResilienceJSONSchema(t *testing.T) {
+	cells, err := RunResilience(tinyResilienceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResilienceJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(cells) {
+		t.Fatalf("decoded %d cells, want %d", len(decoded), len(cells))
+	}
+	required := []string{
+		"algorithm", "mode", "faultRate", "runs", "convergedRuns", "degradedRuns",
+		"iterationsMean", "accuracyMean", "faultsInjected", "stalledCycles",
+		"missing", "retries", "timeouts", "hedgesWon", "crashes", "restarts",
+		"msgDropped", "survivorsMean",
+	}
+	for _, key := range required {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("schema missing key %q", key)
+		}
+	}
+	// Render must not blow up either.
+	out := RenderResilience(tinyResilienceSpec(), cells)
+	if !strings.Contains(out, "fault rate 0.1") {
+		t.Fatalf("render missing rate block:\n%s", out)
+	}
+}

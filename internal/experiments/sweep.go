@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"strings"
@@ -89,16 +91,19 @@ func (s *SweepSpec) fill() {
 }
 
 // newSweepLearner builds the learner for one (param, value) setting.
+// η, γ and β are each realization's Rate knob in the unified Config; μ is
+// Distributed-specific and keeps its dedicated constructor.
 func newSweepLearner(param SweepParam, value float64, k int, r *rng.RNG) (mwu.Learner, error) {
 	switch param {
 	case SweepEta:
-		return mwu.NewStandard(mwu.StandardConfig{K: k, Agents: 16, Eta: value}, r), nil
+		return mwu.NewLearner(mwu.Config{Algorithm: "standard", K: k}, r,
+			mwu.WithAgents(16), mwu.WithRate(value))
 	case SweepGamma:
-		return mwu.NewSlate(mwu.SlateConfig{K: k, Gamma: value}, r), nil
+		return mwu.NewLearner(mwu.Config{Algorithm: "slate", K: k}, r, mwu.WithRate(value))
 	case SweepMu:
 		return mwu.NewDistributed(mwu.DistributedConfig{K: k, Mu: value}, r)
 	case SweepBeta:
-		return mwu.NewDistributed(mwu.DistributedConfig{K: k, Beta: value}, r)
+		return mwu.NewLearner(mwu.Config{Algorithm: "distributed", K: k}, r, mwu.WithRate(value))
 	default:
 		return nil, fmt.Errorf("experiments: unknown sweep parameter %q", param)
 	}
@@ -126,7 +131,7 @@ func RunSweep(spec SweepSpec) ([]SweepPoint, error) {
 				return nil, err
 			}
 			problem := bandit.NewProblem(ds.Dist)
-			res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{MaxIter: spec.MaxIter, Workers: 1})
+			res := mwu.Run(context.Background(), learner, problem, seed.Split(), mwu.RunConfig{MaxIter: spec.MaxIter, Workers: 1})
 			pt.Runs++
 			if res.Converged {
 				pt.Converged++

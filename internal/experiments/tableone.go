@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -52,13 +54,13 @@ func VerifyTableOne(sizes []int, maxIter int, seed uint64) []TableOneRow {
 		d := dist.Random(fmt.Sprintf("verify%d", k), k, r)
 		row := TableOneRow{K: k}
 		for _, alg := range mwu.Names {
-			learner, err := mwu.New(alg, k, r.Split())
+			learner, err := mwu.NewLearner(mwu.Config{Algorithm: alg, K: k}, r.Split())
 			if err != nil {
 				row.DistributedIntractable = true
 				continue
 			}
 			p := bandit.NewProblem(d)
-			res := mwu.Run(learner, p, r.Split(), mwu.RunConfig{MaxIter: maxIter, Workers: 1})
+			res := mwu.Run(context.Background(), learner, p, r.Split(), mwu.RunConfig{MaxIter: maxIter, Workers: 1})
 			m := learner.Metrics()
 			switch alg {
 			case "standard":

@@ -1,9 +1,12 @@
 package mwu
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bandit"
+	"repro/internal/faults"
 	"repro/internal/rng"
 )
 
@@ -29,6 +32,18 @@ import (
 //     stream and adopts the observed option with probability β on success
 //     or α on failure, then reports its new choice to the coordinator,
 //     which tracks popularity for the plurality convergence test.
+//
+// Resilience (DESIGN.md §10): with a fault injector in
+// DistributedConfig.Faults, agents crash (the coordinator stops
+// commanding them and removes them from the peer set every other agent
+// observes), optionally restart after RestartAfter iterations with fresh
+// O(1) state, and observation queries are dropped, delayed, or
+// duplicated. Popularity — and the plurality convergence test — are
+// tracked over the survivors, so the protocol degrades instead of
+// wedging: this is the paper's Table I fault-tolerance claim, executable.
+// Crash and message-fault decisions are stateless hashes of (agent,
+// iteration), so a fixed seed yields the same fault schedule regardless
+// of scheduling.
 
 // mpQuery is an observation request; the reply carries the peer's current
 // choice.
@@ -43,6 +58,18 @@ type mpReport struct {
 	served int // queries served this phase (congestion accounting)
 }
 
+// mpCmd is a coordinator command: an opcode, the current iteration (the
+// coordinate of every fault decision), and — for cmdObserve — the peer
+// set to observe from this iteration. The slice is rebuilt by the
+// coordinator when agents crash or restart and must be treated as
+// read-only by agents; the command-channel send is the happens-before
+// edge that publishes it.
+type mpCmd struct {
+	op    int
+	iter  int
+	peers []*mpAgent
+}
+
 // mpAgent is one distributed agent: O(1) algorithm state (its current
 // choice), plus its channels and private RNG stream.
 type mpAgent struct {
@@ -50,7 +77,7 @@ type mpAgent struct {
 	choice  int
 	r       *rng.RNG
 	queries chan mpQuery
-	cmd     chan int // phase commands from the coordinator
+	cmd     chan mpCmd // phase commands from the coordinator
 
 	observedOption int // O_j for the current iteration
 	served         int // queries answered since the last evaluate phase
@@ -59,6 +86,7 @@ type mpAgent struct {
 const (
 	cmdObserve = iota
 	cmdEvaluate
+	cmdRestart
 	cmdStop
 )
 
@@ -67,14 +95,23 @@ const (
 type MessagePassingResult struct {
 	RunResult
 	Metrics Metrics
+	// Survivors is how many agents were alive when the run ended.
+	Survivors int
 }
 
 // RunMessagePassing executes the Distributed MWU with one goroutine per
 // agent. It honours the same configuration and convergence criterion as
-// the synchronous engine. The seed fully determines all algorithmic
-// randomness; goroutine scheduling cannot affect results because choices
-// are frozen during the observation phase.
-func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, maxIter int) (MessagePassingResult, error) {
+// the synchronous engine, plus cfg.Faults for agent crashes/restarts and
+// message faults. The seed fully determines all algorithmic randomness
+// and the fault schedule; goroutine scheduling cannot affect results
+// because choices are frozen during the observation phase. Cancelling the
+// context stops the run at the next iteration boundary, returning the
+// best-so-far partial result with Cancelled set; all agent goroutines are
+// joined before return.
+func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, maxIter int) (MessagePassingResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.K <= 0 {
 		panic("mwu: DistributedConfig.K must be positive")
 	}
@@ -86,16 +123,20 @@ func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, ma
 		maxIter = 10000
 	}
 	n := cfg.PopSize
+	inj := cfg.Faults
 
 	agents := make([]*mpAgent, n)
 	reports := make(chan mpReport, n)
+	var stats faults.Stats
 	for j := 0; j < n; j++ {
 		agents[j] = &mpAgent{
-			id:      j,
-			choice:  j % cfg.K,
-			r:       seed.Split(),
+			id:     j,
+			choice: j % cfg.K,
+			r:      seed.Split(),
+			// The query buffer absorbs bursts; the reply buffer holds 2 so
+			// a duplicated query's second answer never blocks the peer.
 			queries: make(chan mpQuery, 16),
-			cmd:     make(chan int, 1),
+			cmd:     make(chan mpCmd, 1),
 		}
 	}
 
@@ -104,9 +145,16 @@ func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, ma
 	for _, a := range agents {
 		go func(a *mpAgent) {
 			defer wg.Done()
-			a.run(cfg, o, agents, reports)
+			a.run(cfg, o, &stats, reports)
 		}(a)
 	}
+
+	// alive is the coordinator's survivor set — the peer universe agents
+	// observe from. downSince records the crash iteration of dead agents
+	// for the restart schedule.
+	alive := make([]*mpAgent, n)
+	copy(alive, agents)
+	downSince := make(map[*mpAgent]int)
 
 	counts := make([]int, cfg.K)
 	for _, a := range agents {
@@ -118,25 +166,61 @@ func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, ma
 	res := MessagePassingResult{}
 	converged := false
 	for t := 1; t <= maxIter && !converged; t++ {
-		// Phase 1: observe. Reports here only signal phase completion.
-		for _, a := range agents {
-			a.cmd <- cmdObserve
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
 		}
-		for i := 0; i < n; i++ {
+
+		// Lifecycle: restarts first (an agent that served its downtime
+		// rejoins with fresh O(1) state), then this iteration's crashes.
+		if inj.Enabled() {
+			if cfg.Faults.Config().RestartAfter > 0 {
+				for a, since := range downSince {
+					if t-since >= cfg.Faults.Config().RestartAfter {
+						a.cmd <- mpCmd{op: cmdRestart, iter: t}
+						delete(downSince, a)
+						alive = append(alive, a)
+						stats.Restarts++
+					}
+				}
+			}
+			kept := alive[:0]
+			for _, a := range alive {
+				if inj.AgentCrash(a.id, t) {
+					downSince[a] = t
+					stats.Crashes++
+					continue
+				}
+				kept = append(kept, a)
+			}
+			alive = kept
+			if len(alive) == 0 {
+				// Total population loss: nothing left to run the protocol.
+				break
+			}
+		}
+		live := len(alive)
+
+		// Phase 1: observe. Reports here only signal phase completion. The
+		// observe command publishes this iteration's peer set.
+		for _, a := range alive {
+			a.cmd <- mpCmd{op: cmdObserve, iter: t, peers: alive}
+		}
+		for i := 0; i < live; i++ {
 			<-reports
 		}
 		// Phase 2: evaluate and adopt. Reports carry the new choice and
 		// the number of observation queries the agent answered this
 		// iteration (its in-degree — the congestion of Table I).
-		for _, a := range agents {
-			a.cmd <- cmdEvaluate
+		for _, a := range alive {
+			a.cmd <- mpCmd{op: cmdEvaluate, iter: t}
 		}
 		for i := range counts {
 			counts[i] = 0
 		}
 		congestion := 0
 		messages := int64(0)
-		for i := 0; i < n; i++ {
+		for i := 0; i < live; i++ {
 			rep := <-reports
 			counts[rep.choice]++
 			if rep.served > congestion {
@@ -144,24 +228,33 @@ func RunMessagePassing(cfg DistributedConfig, o bandit.Oracle, seed *rng.RNG, ma
 			}
 			messages += int64(rep.served)
 		}
-		m.recordIteration(n, congestion, messages)
+		m.recordIteration(live, congestion, messages)
 		res.Iterations = t
 
+		// Popularity — and the plurality test — run over the survivors:
+		// a crashed agent's vote is gone, not frozen.
 		lead := bestCount(counts)
-		if float64(counts[lead]) >= cfg.Plurality*float64(n) {
+		if float64(counts[lead]) >= cfg.Plurality*float64(live) {
 			converged = true
 			res.Converged = true
 		}
 	}
+	// Every agent — alive, crashed, or mid-restart-wait — still listens on
+	// its command channel and must be stopped.
 	for _, a := range agents {
-		a.cmd <- cmdStop
+		a.cmd <- mpCmd{op: cmdStop}
 	}
 	wg.Wait()
 
 	lead := bestCount(counts)
 	res.Choice = lead
-	res.LeaderProb = float64(counts[lead]) / float64(n)
+	if live := len(alive); live > 0 {
+		res.LeaderProb = float64(counts[lead]) / float64(live)
+	}
+	res.Survivors = len(alive)
 	res.CPUIterations = m.CPUIterations
+	m.Faults = stats
+	res.Degraded = res.Cancelled || stats.Crashes > 0 || stats.MsgDropped > 0
 	res.Metrics = m
 	return res, nil
 }
@@ -177,43 +270,82 @@ func bestCount(counts []int) int {
 }
 
 // run is the agent goroutine body.
-func (a *mpAgent) run(cfg DistributedConfig, o bandit.Oracle, agents []*mpAgent, reports chan<- mpReport) {
-	replyCh := make(chan int, 1)
+func (a *mpAgent) run(cfg DistributedConfig, o bandit.Oracle, stats *faults.Stats, reports chan<- mpReport) {
+	replyCh := make(chan int, 2)
 	for {
-		switch a.waitCommand() {
+		c := a.waitCommand()
+		switch c.op {
 		case cmdStop:
 			a.drainQueries()
 			return
+		case cmdRestart:
+			// Fresh O(1) state, same identity and RNG stream: the restart
+			// is a reboot, not a reincarnation.
+			a.choice = a.id % cfg.K
+			a.observedOption = a.choice
+			a.served = 0
 		case cmdObserve:
 			if a.r.Float64() < cfg.Mu {
 				a.observedOption = a.r.Intn(cfg.K)
 			} else {
-				peer := agents[a.r.Intn(len(agents))]
-				if peer == a {
+				peer := c.peers[a.r.Intn(len(c.peers))]
+				fault := faults.MsgNone
+				if cfg.Faults.Enabled() {
+					fault = cfg.Faults.MessageFault(c.iter, a.id)
+				}
+				switch {
+				case peer == a:
 					a.observedOption = a.choice
 					a.served++ // self-observation still counts as a lookup
-				} else {
+				case fault == faults.MsgDrop:
+					// The query is lost in transit: the peer never sees it,
+					// no reply ever comes. The observer degrades to
+					// re-observing its own current choice.
+					atomic.AddInt64(&stats.Injected, 1)
+					atomic.AddInt64(&stats.MsgDropped, 1)
+					a.observedOption = a.choice
+				default:
+					if fault == faults.MsgDelay {
+						// Late but within the phase barrier: semantically
+						// invisible, only the ledger notices.
+						atomic.AddInt64(&stats.Injected, 1)
+						atomic.AddInt64(&stats.MsgDelayed, 1)
+					}
+					sends := 1
+					if fault == faults.MsgDup {
+						// The query is duplicated in transit: the peer
+						// serves it twice (congestion doubles on that
+						// edge) and the observer collects both replies.
+						atomic.AddInt64(&stats.Injected, 1)
+						atomic.AddInt64(&stats.MsgDuplicated, 1)
+						sends = 2
+					}
 					q := mpQuery{reply: replyCh}
-					// Send while serving: never block on a full peer inbox
-					// without draining our own, so query cycles cannot
-					// deadlock.
-				sendLoop:
-					for {
-						select {
-						case peer.queries <- q:
-							break sendLoop
-						case in := <-a.queries:
-							a.serve(in)
+					for s := 0; s < sends; s++ {
+						// Send while serving: never block on a full peer
+						// inbox without draining our own, so query cycles
+						// cannot deadlock.
+					sendLoop:
+						for {
+							select {
+							case peer.queries <- q:
+								break sendLoop
+							case in := <-a.queries:
+								a.serve(in)
+							}
 						}
 					}
-					// Await the reply, still serving.
-				recvLoop:
-					for {
-						select {
-						case a.observedOption = <-replyCh:
-							break recvLoop
-						case in := <-a.queries:
-							a.serve(in)
+					// Await the reply (both replies for a duplicated
+					// query), still serving.
+					for s := 0; s < sends; s++ {
+					recvLoop:
+						for {
+							select {
+							case a.observedOption = <-replyCh:
+								break recvLoop
+							case in := <-a.queries:
+								a.serve(in)
+							}
 						}
 					}
 				}
@@ -246,7 +378,7 @@ func (a *mpAgent) serve(in mpQuery) {
 
 // waitCommand blocks for the next coordinator command while serving
 // incoming observation queries.
-func (a *mpAgent) waitCommand() int {
+func (a *mpAgent) waitCommand() mpCmd {
 	for {
 		select {
 		case c := <-a.cmd:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/rng"
 )
 
@@ -40,6 +41,11 @@ type DistributedConfig struct {
 	// (≈400k agents) are not, matching the paper. Set negative to disable
 	// the bound.
 	MaxAgents int
+	// Faults, when non-nil, injects agent crashes/restarts and message
+	// drop/delay/duplication into the message-passing protocol
+	// (RunMessagePassing). The synchronous engine ignores it — probe-level
+	// faults there are the Run driver's job.
+	Faults *faults.Injector
 }
 
 func (c *DistributedConfig) fill() {
@@ -246,6 +252,48 @@ func (d *Distributed) Update(arms []int, rewards []float64) {
 	}
 	d.metrics.recordIteration(d.cfg.PopSize, congestion, messages)
 }
+
+// UpdateMissing implements PartialUpdater: an agent whose evaluation
+// never produced a result simply keeps its current choice — no adoption
+// flip is possible without an observation. No other agent is affected,
+// which is the whole fault-tolerance argument for this variant (Table I):
+// there is no barrier for the failure to wedge.
+func (d *Distributed) UpdateMissing(arms []int, rewards []float64, missing []bool) {
+	if len(arms) != len(rewards) || len(arms) != len(missing) {
+		panic("mwu: arms/rewards/missing length mismatch")
+	}
+	for j, arm := range arms {
+		if missing[j] {
+			continue
+		}
+		adopt := false
+		if rewards[j] == 1 {
+			adopt = d.rng.Float64() < d.cfg.Beta
+		} else {
+			adopt = d.rng.Float64() < d.cfg.Alpha
+		}
+		if adopt && d.choices[j] != arm {
+			d.counts[d.choices[j]]--
+			d.choices[j] = arm
+			d.counts[arm]++
+			d.leaderValid = false
+		}
+	}
+	congestion := 0
+	messages := int64(0)
+	for _, j := range d.touched {
+		c := int(d.queried[j])
+		messages += int64(c)
+		if c > congestion {
+			congestion = c
+		}
+	}
+	d.metrics.recordIteration(d.cfg.PopSize, congestion, messages)
+}
+
+// Autonomous marks the Distributed learner as barrier-free: a silent
+// evaluator failure strands one agent's observation, never the cycle.
+func (d *Distributed) Autonomous() bool { return true }
 
 // Leader implements Learner: the most popular option (smallest index on
 // ties). The scan result is cached and invalidated by adoptions, so the

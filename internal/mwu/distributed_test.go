@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"testing"
@@ -125,7 +127,7 @@ func TestDistributedAdoption(t *testing.T) {
 	ev := newEvaluator(o, seed, 1)
 	for i := 0; i < 30; i++ {
 		arms := d.Sample()
-		rewards := ev.probeAll(arms)
+		rewards, _ := ev.probeAll(i, arms)
 		d.Update(arms, rewards)
 	}
 	pop := d.Popularity()
@@ -139,7 +141,7 @@ func TestDistributedConvergesToPlurality(t *testing.T) {
 	p := bandit.NewProblem(dist.New("gap", values))
 	seed := rng.New(6)
 	d := MustDistributed(DistributedConfig{K: 8, PopSize: 800}, seed.Split())
-	res := Run(d, p, seed.Split(), RunConfig{MaxIter: 500, Workers: 1})
+	res := Run(context.Background(), d, p, seed.Split(), RunConfig{MaxIter: 500, Workers: 1})
 	if !res.Converged {
 		t.Fatalf("did not converge in %d iterations (leader %d @ %v)",
 			res.Iterations, res.Choice, res.LeaderProb)
@@ -161,7 +163,8 @@ func TestDistributedCongestionIsSublinear(t *testing.T) {
 	ev := newEvaluator(o, seed, 1)
 	for i := 0; i < 5; i++ {
 		arms := d.Sample()
-		d.Update(arms, ev.probeAll(arms))
+		rewards, _ := ev.probeAll(i, arms)
+		d.Update(arms, rewards)
 	}
 	m := d.Metrics()
 	if m.MaxCongestion > 60 { // ln(1e4)/lnln(1e4) ≈ 4.2; allow generous slack
@@ -180,7 +183,8 @@ func TestDistributedPopularityInvariant(t *testing.T) {
 	ev := newEvaluator(p, seed.Split(), 1)
 	for i := 0; i < 50; i++ {
 		arms := d.Sample()
-		d.Update(arms, ev.probeAll(arms))
+		rewards, _ := ev.probeAll(i, arms)
+		d.Update(arms, rewards)
 		total := 0
 		for _, c := range d.Popularity() {
 			total += c
@@ -196,7 +200,7 @@ func TestDistributedDeterministicUnderSeed(t *testing.T) {
 		p := bandit.NewProblem(dist.Random("r", 16, rng.New(500)))
 		seed := rng.New(10)
 		d := MustDistributed(DistributedConfig{K: 16, PopSize: 400}, seed.Split())
-		res := Run(d, p, seed.Split(), RunConfig{MaxIter: 200, Workers: 1})
+		res := Run(context.Background(), d, p, seed.Split(), RunConfig{MaxIter: 200, Workers: 1})
 		return res.Choice, res.Iterations
 	}
 	c1, i1 := run()

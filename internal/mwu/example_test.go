@@ -1,6 +1,8 @@
 package mwu_test
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/bandit"
@@ -16,7 +18,7 @@ func ExampleRun() {
 	seed := rng.New(7)
 	learner := mwu.NewStandard(mwu.StandardConfig{K: 4, Agents: 8, Eta: 0.2}, seed.Split())
 
-	res := mwu.Run(learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 5000, Workers: 1})
+	res := mwu.Run(context.Background(), learner, problem, seed.Split(), mwu.RunConfig{MaxIter: 5000, Workers: 1})
 	fmt.Println("choice:", res.Choice, "converged:", res.Converged)
 	// Output: choice: 2 converged: true
 }
@@ -36,7 +38,7 @@ func ExampleNew() {
 func ExampleRunMessagePassing() {
 	problem := bandit.NewProblem(dist.New("demo", []float64{0.05, 0.9, 0.1}))
 	cfg := mwu.DistributedConfig{K: 3, PopSize: 120}
-	res, err := mwu.RunMessagePassing(cfg, problem, rng.New(5), 300)
+	res, err := mwu.RunMessagePassing(context.Background(), cfg, problem, rng.New(5), 300)
 	if err != nil {
 		panic(err)
 	}

@@ -1,43 +1,26 @@
 package mwu
 
-import (
-	"fmt"
-
-	"repro/internal/rng"
-)
+import "repro/internal/rng"
 
 // Names lists the three learner names the factory accepts, in the paper's
 // presentation order.
 var Names = []string{"standard", "distributed", "slate"}
 
 // New constructs a learner by name with the evaluation's parameter
-// settings (Sec. IV-B): the random-choice probabilities μ (Distributed)
-// and γ (Slate) and the Standard error threshold ε are all 0.05, and those
-// choices fix the remaining parameters — Slate's slate size n = ⌈γ·k⌉,
-// Standard's agent count (set equal to Slate's n for comparability, with a
-// floor of 16 threads), and Distributed's population size.
+// settings (Sec. IV-B).
 //
-// Distributed configurations whose population exceeds the tractability
-// bound return *ErrIntractable, mirroring the two intractable cells in the
-// paper's Table II.
+// Deprecated: use NewLearner with a Config (and functional Options) —
+// this wrapper survives so existing callers and seed tests keep
+// compiling, and delegates verbatim: New(name, k, r) is
+// NewLearner(Config{Algorithm: name, K: k}, r), bit-identical under a
+// fixed seed.
 func New(name string, k int, r *rng.RNG) (Learner, error) {
-	switch name {
-	case "standard":
-		n := (k*5 + 99) / 100 // ceil(0.05k)
-		if n < 16 {
-			n = 16
-		}
-		return NewStandard(StandardConfig{K: k, Agents: n, Eta: 0.05}, r), nil
-	case "slate":
-		return NewSlate(SlateConfig{K: k, Gamma: 0.05}, r), nil
-	case "distributed":
-		return NewDistributed(DistributedConfig{K: k, Mu: 0.05}, r)
-	default:
-		return nil, fmt.Errorf("mwu: unknown learner %q (want one of %v)", name, Names)
-	}
+	return NewLearner(Config{Algorithm: name, K: k}, r)
 }
 
 // MustNew is New for callers with known-tractable configurations.
+//
+// Deprecated: use MustNewLearner.
 func MustNew(name string, k int, r *rng.RNG) Learner {
 	l, err := New(name, k, r)
 	if err != nil {

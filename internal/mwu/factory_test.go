@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/bandit"
@@ -66,7 +68,7 @@ func TestRunDefaultsMaxIter(t *testing.T) {
 	p := bandit.NewProblem(dist.New("easy", []float64{0.05, 0.95}))
 	seed := rng.New(9)
 	l := NewStandard(StandardConfig{K: 2, Agents: 4, Eta: 0.3}, seed.Split())
-	res := Run(l, p, seed.Split(), RunConfig{Workers: 1})
+	res := Run(context.Background(), l, p, seed.Split(), RunConfig{Workers: 1})
 	if !res.Converged {
 		t.Fatalf("easy problem did not converge in default budget (%d iters)", res.Iterations)
 	}
@@ -85,7 +87,7 @@ func TestEvaluatorSlotStreamsStable(t *testing.T) {
 		var out [][]float64
 		for _, n := range sizes {
 			arms := make([]int, n)
-			r := ev.probeAll(arms)
+			r, _ := ev.probeAll(0, arms)
 			out = append(out, append([]float64(nil), r...))
 		}
 		return out

@@ -24,14 +24,25 @@
 // Run driver, which fans probes out across goroutines with independent,
 // pre-split RNG streams so results are deterministic under a fixed seed
 // regardless of scheduling.
+//
+// The driver also owns the resilience story (DESIGN.md §10): an optional
+// internal/faults injector perturbs probe evaluations with stragglers,
+// hangs, result losses, and worker panics; Timeout/Retry/Hedge policies
+// absorb what they can; and what remains degrades according to each
+// learner's synchronization discipline — barriered learners (Standard,
+// Slate) stall on silent failures, the autonomous Distributed learner
+// shrugs them off as missing observations.
 package mwu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bandit"
+	"repro/internal/faults"
 	"repro/internal/rng"
 )
 
@@ -71,6 +82,28 @@ type Learner interface {
 	Metrics() *Metrics
 }
 
+// PartialUpdater is the optional degradation interface: a learner that
+// implements it can consume an update cycle in which some rewards never
+// arrived. missing[i] marks slots whose reward is absent (rewards[i] is
+// zero and meaningless there). Each learner degrades per its own
+// synchronization discipline: Standard skips the missing slots, Slate
+// importance-corrects the survivors, Distributed leaves the affected
+// agents' choices untouched.
+type PartialUpdater interface {
+	UpdateMissing(arms []int, rewards []float64, missing []bool)
+}
+
+// autonomous is the optional marker for learners whose evaluators do not
+// synchronize through a barrier: a silent evaluator failure (hang, lost
+// result) strands only that evaluator's observation, not the cycle. The
+// Distributed learner is autonomous; Standard and Slate — which must join
+// all n results before updating the shared weight vector — are not, and a
+// silent failure with no Timeout policy stalls their whole cycle (the
+// paper's Table I fault-tolerance argument, made measurable).
+type autonomous interface {
+	Autonomous() bool
+}
+
 // Metrics accumulates the cost accounting the evaluation reports:
 // update cycles (Table II), CPU-iterations (Table IV), communication
 // congestion, and per-node memory overhead (Table I).
@@ -102,6 +135,10 @@ type Metrics struct {
 	CacheHits       int64
 	DedupSuppressed int64
 	ShardContention int64
+	// Faults is the resilience ledger: faults injected into this run and
+	// what the Timeout/Retry/Hedge policies made of them. All zero when no
+	// injector is configured.
+	Faults faults.Stats
 }
 
 // MeanCongestion returns the average per-iteration congestion.
@@ -113,8 +150,12 @@ func (m *Metrics) MeanCongestion() float64 {
 }
 
 func (m *Metrics) String() string {
-	return fmt.Sprintf("iters=%d probes=%d cpu-iters=%d congestion(max=%d mean=%.1f) mem=%d",
+	s := fmt.Sprintf("iters=%d probes=%d cpu-iters=%d congestion(max=%d mean=%.1f) mem=%d",
 		m.Iterations, m.Probes, m.CPUIterations, m.MaxCongestion, m.MeanCongestion(), m.MemoryFloats)
+	if m.Faults.Any() {
+		s += " " + m.Faults.String()
+	}
+	return s
 }
 
 // recordIteration folds one update cycle into the metrics.
@@ -141,8 +182,25 @@ type RunConfig struct {
 	// (MWRepair's early termination hooks in here). It runs on every
 	// completed cycle — including the one on which the learner converges —
 	// so an early-stop condition met on the converging cycle is still
-	// reported via Stopped.
+	// reported via Stopped. Stalled cycles (a silent fault wedging a
+	// barriered learner) complete no update and do not invoke it.
 	OnIteration func(iter int, l Learner) bool
+
+	// Faults, when non-nil, injects probe-evaluation faults (stragglers,
+	// hangs, result losses, worker panics) at the injector's configured
+	// rates. Fault decisions are stateless hashes of (iteration, slot,
+	// attempt): a fixed injector seed yields a bit-identical fault
+	// schedule at any worker count.
+	Faults *faults.Injector
+	// Policies are the degradation responses applied to injected faults:
+	// Timeout detects silent failures, Retry re-issues detected ones with
+	// backoff, Hedge races stragglers. Zero-value policies are disabled.
+	Policies faults.Policies
+	// StragglerCutoff, in virtual ticks, marks straggler rewards arriving
+	// later than the cutoff as missing instead of waiting them out
+	// (importance-corrected update for Slate, skipped slot for Standard).
+	// 0 waits for stragglers indefinitely.
+	StragglerCutoff int
 }
 
 // RunResult summarizes a completed run.
@@ -150,7 +208,8 @@ type RunResult struct {
 	// Converged reports whether the learner met its criterion before the
 	// iteration limit.
 	Converged bool
-	// Iterations is the number of update cycles executed.
+	// Iterations is the number of update cycles executed (including
+	// stalled ones: a stalled cycle burns real time and CPU).
 	Iterations int
 	// Choice is the leader when the run ended.
 	Choice int
@@ -162,14 +221,27 @@ type RunResult struct {
 	// and Converged are independent: both are true when the stop
 	// condition and the convergence criterion are met on the same cycle.
 	Stopped bool
+	// Cancelled reports that the context was cancelled mid-run; the rest
+	// of the result is the best-so-far partial answer.
+	Cancelled bool
+	// Degraded reports that fault injection left a mark on the run:
+	// rewards went missing, cycles stalled, or the run was cancelled.
+	// Details are in the learner's Metrics.Faults ledger.
+	Degraded bool
 }
 
 // Run drives a learner against an oracle until convergence, the iteration
-// limit, or an OnIteration stop. Probes are evaluated in parallel across
-// cfg.Workers goroutines; each evaluator slot uses its own pre-split RNG
-// stream keyed by slot index, so a fixed seed yields identical results at
-// any worker count.
-func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
+// limit, context cancellation, or an OnIteration stop. Probes are
+// evaluated in parallel across cfg.Workers goroutines; each evaluator slot
+// uses its own pre-split RNG stream keyed by slot index, so a fixed seed
+// yields identical results at any worker count — with or without fault
+// injection. On cancellation the best-so-far partial result is returned
+// with Cancelled set; the probe workers are always drained before Run
+// returns.
+func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 10000
 	}
@@ -178,13 +250,39 @@ func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ev := newEvaluator(o, seed, workers)
+	ev.inj = cfg.Faults
+	ev.pol = cfg.Policies
+	ev.cutoff = cfg.StragglerCutoff
 	defer ev.close()
+
+	auto := false
+	if a, ok := l.(autonomous); ok {
+		auto = a.Autonomous()
+	}
+	partial, hasPartial := l.(PartialUpdater)
 
 	res := RunResult{}
 	for t := 1; t <= cfg.MaxIter; t++ {
+		if ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		arms := l.Sample()
-		rewards := ev.probeAll(arms)
-		l.Update(arms, rewards)
+		rewards, status := ev.probeAll(t, arms)
+		if status == nil {
+			// Fault-free fast path: bit-identical to the historical driver.
+			l.Update(arms, rewards)
+		} else if !applyDegraded(l, auto, partial, hasPartial, &ev.stats, arms, rewards, status) {
+			// A silent failure wedged this barriered learner's cycle: the
+			// CPU was burned and wall-clock lost, but no update happened —
+			// the learner cannot make progress this cycle. MaxIter still
+			// advances, which is exactly how "Standard stalls" manifests.
+			res.Iterations = t
+			m := l.Metrics()
+			m.Probes += int64(len(arms))
+			m.CPUIterations += int64(len(arms))
+			continue
+		}
 		res.Iterations = t
 		// The stop callback is evaluated before the convergence check so
 		// that a stop condition met on the converging cycle (e.g. MWRepair
@@ -202,14 +300,76 @@ func Run(l Learner, o bandit.Oracle, seed *rng.RNG, cfg RunConfig) RunResult {
 	}
 	res.Choice = l.Leader()
 	res.LeaderProb = l.LeaderProb()
-	res.CPUIterations = l.Metrics().CPUIterations
+	m := l.Metrics()
+	m.Faults.Merge(ev.stats)
+	res.CPUIterations = m.CPUIterations
+	res.Degraded = res.Cancelled || ev.stats.Missing > 0 || ev.stats.StalledCycles > 0
 	return res
 }
+
+// applyDegraded consumes one update cycle that carries fault statuses.
+// It returns false when the cycle stalled (a silent unresolved failure on
+// a barriered learner) and no update was applied.
+func applyDegraded(l Learner, auto bool, partial PartialUpdater, hasPartial bool,
+	stats *faults.Stats, arms []int, rewards []float64, status []probeStatus) bool {
+	var missing []bool
+	anyMissing := false
+	for i, s := range status {
+		if s == probeOK {
+			continue
+		}
+		if s == probeUnresolved {
+			if !auto {
+				// Barriered learner, silent failure, no Timeout to detect
+				// it: the join never completes. The cycle is wasted.
+				stats.StalledCycles++
+				return false
+			}
+			// Autonomous learners have no join: the affected agent simply
+			// never observes a result this round.
+			stats.Missing++
+		}
+		if missing == nil {
+			missing = make([]bool, len(arms))
+		}
+		missing[i] = true
+		anyMissing = true
+	}
+	if !anyMissing {
+		l.Update(arms, rewards)
+		return true
+	}
+	if hasPartial {
+		partial.UpdateMissing(arms, rewards, missing)
+		return true
+	}
+	// Defensive fallback for learners without degradation support: missing
+	// rewards are already zero, which a {0,1}-reward learner reads as
+	// failure — pessimistic but safe.
+	l.Update(arms, rewards)
+	return true
+}
+
+// probeStatus is the per-slot outcome of fault resolution.
+type probeStatus uint8
+
+const (
+	// probeOK: the reward arrived (possibly late but within the cutoff).
+	probeOK probeStatus = iota
+	// probeMissing: the reward is known to be absent — a detected failure
+	// (panic, timeout, late-dropped straggler) that exhausted its retries.
+	probeMissing
+	// probeUnresolved: the reward silently never arrived and no policy
+	// detected it. A barrier waiting on it stalls.
+	probeUnresolved
+)
 
 // evaluator owns the parallel probe fan-out. Each evaluator slot (agent
 // index) has a dedicated RNG stream created once up front; rewards
 // therefore depend only on (slot, call sequence), never on goroutine
-// interleaving or worker count.
+// interleaving or worker count. Fault decisions are stateless hashes of
+// (iteration, slot, attempt), so the same invariance extends to the fault
+// schedule.
 //
 // The worker goroutines are persistent: they are started lazily on the
 // first parallel probeAll and live until close, so the per-iteration cost
@@ -221,13 +381,24 @@ type evaluator struct {
 	seed    *rng.RNG
 	streams []*rng.RNG
 
-	// Round state shared with the persistent workers. arms and rewards
-	// are set before jobs are dispatched and read only between wg.Add and
-	// wg.Wait, so the channel send/receive and WaitGroup edges order every
-	// access. rewards is freshly allocated per round: ownership of the
-	// returned slice passes to the caller (see Learner.Update).
+	// Fault-injection state. inj is nil for clean runs; stats fields are
+	// updated with atomics by concurrent workers and read only after the
+	// wg barrier.
+	inj    *faults.Injector
+	pol    faults.Policies
+	cutoff int
+	stats  faults.Stats
+
+	// Round state shared with the persistent workers. arms, rewards and
+	// status are set before jobs are dispatched and read only between
+	// wg.Add and wg.Wait, so the channel send/receive and WaitGroup edges
+	// order every access. rewards is freshly allocated per round:
+	// ownership of the returned slice passes to the caller (see
+	// Learner.Update).
 	arms    []int
 	rewards []float64
+	status  []probeStatus
+	iter    int
 	jobs    chan probeChunk
 	wg      sync.WaitGroup
 }
@@ -257,7 +428,11 @@ func (e *evaluator) start() {
 		go func() {
 			for c := range jobs {
 				for i := c.lo; i < c.hi; i++ {
-					e.rewards[i] = e.oracle.Probe(e.arms[i], e.streams[i])
+					if e.status != nil {
+						e.rewards[i], e.status[i] = e.resolve(e.iter, i, e.arms[i])
+					} else {
+						e.rewards[i] = e.oracle.Probe(e.arms[i], e.streams[i])
+					}
 				}
 				e.wg.Done()
 			}
@@ -275,22 +450,34 @@ func (e *evaluator) close() {
 }
 
 // probeAll evaluates arms[i] with slot i's stream, in parallel. The
-// returned slice is freshly allocated each call; the caller owns it.
-func (e *evaluator) probeAll(arms []int) []float64 {
+// returned rewards slice is freshly allocated each call; the caller owns
+// it. The status slice is nil when no injector is configured (the
+// fault-free fast path) and per-slot fault outcomes otherwise.
+func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
 	n := len(arms)
 	e.ensure(n)
 	rewards := make([]float64, n)
+	var status []probeStatus
+	if e.inj.Enabled() {
+		status = make([]probeStatus, n)
+	}
 	if e.workers == 1 || n == 1 {
 		for i, a := range arms {
-			rewards[i] = e.oracle.Probe(a, e.streams[i])
+			if status != nil {
+				rewards[i], status[i] = e.resolve(iter, i, a)
+			} else {
+				rewards[i] = e.oracle.Probe(a, e.streams[i])
+			}
 		}
-		return rewards
+		return rewards, status
 	}
 	if e.jobs == nil {
 		e.start()
 	}
 	e.arms = arms
 	e.rewards = rewards
+	e.status = status
+	e.iter = iter
 	w := e.workers
 	if w > n {
 		w = n
@@ -305,5 +492,94 @@ func (e *evaluator) probeAll(arms []int) []float64 {
 		e.jobs <- probeChunk{lo: start, hi: end}
 	}
 	e.wg.Wait()
-	return rewards
+	e.status = nil
+	return rewards, status
+}
+
+// add atomically bumps one stats counter; workers resolve slots
+// concurrently, so the ledger must be written with atomics and read only
+// after the round barrier.
+func add(c *int64, n int64) { atomic.AddInt64(c, n) }
+
+// resolve plays out the fate of one probe slot under fault injection, in
+// virtual time. It returns the reward (zero when absent) and the slot's
+// resolution status. Decisions are hashes of (iter, slot, attempt); the
+// only RNG use is backoff jitter from the slot's own stream, drawn only
+// when a retry actually fires — so fault-free trajectories are untouched
+// and faulty ones stay deterministic at any worker count.
+func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
+	st := &e.stats
+	elapsed := 0
+	for attempt := 0; ; attempt++ {
+		switch kind := e.inj.ProbeFault(iter, slot, attempt); kind {
+		case faults.None:
+			return e.oracle.Probe(arm, e.streams[slot]), probeOK
+
+		case faults.Straggle:
+			add(&st.Injected, 1)
+			add(&st.Stragglers, 1)
+			// The probe does complete — just late. Compute the reward now
+			// (the oracle draw is part of the slot stream either way) and
+			// decide in virtual time when it lands.
+			reward := e.oracle.Probe(arm, e.streams[slot])
+			arrival := elapsed + e.inj.StraggleTicks(iter, slot, attempt)
+			if e.pol.Hedge.Enabled() {
+				hedgeAt := elapsed + e.pol.Hedge.AfterTicks
+				if arrival > hedgeAt {
+					add(&st.Hedges, 1)
+					// The hedge is its own decision site and can fault too;
+					// only a clean hedge can beat the straggler home.
+					if e.inj.HedgeFault(iter, slot, attempt) == faults.None {
+						if hedged := hedgeAt + 1; hedged < arrival {
+							add(&st.HedgesWon, 1)
+							arrival = hedged
+						}
+					}
+				}
+			}
+			if e.cutoff > 0 && arrival > e.cutoff {
+				add(&st.LateDropped, 1)
+				add(&st.Missing, 1)
+				return 0, probeMissing
+			}
+			return reward, probeOK
+
+		case faults.Panic:
+			// Loud: the worker pool recovers the panic and knows the slot
+			// failed, so a retry needs no timeout.
+			add(&st.Injected, 1)
+			add(&st.Panics, 1)
+			if e.pol.Retry.Enabled() && attempt < e.pol.Retry.Max {
+				add(&st.Retries, 1)
+				elapsed += e.pol.Retry.Backoff(attempt+1, e.streams[slot])
+				continue
+			}
+			add(&st.Missing, 1)
+			return 0, probeMissing
+
+		case faults.Hang, faults.Loss:
+			// Silent: from the waiting side nothing distinguishes "still
+			// running" from "never coming". Only a Timeout converts this
+			// into a detected miss; without one the slot is unresolved and
+			// a barriered learner stalls on it.
+			add(&st.Injected, 1)
+			if kind == faults.Hang {
+				add(&st.Hangs, 1)
+			} else {
+				add(&st.Losses, 1)
+			}
+			if !e.pol.Timeout.Enabled() {
+				return 0, probeUnresolved
+			}
+			add(&st.Timeouts, 1)
+			elapsed += e.pol.Timeout.AfterTicks
+			if e.pol.Retry.Enabled() && attempt < e.pol.Retry.Max {
+				add(&st.Retries, 1)
+				elapsed += e.pol.Retry.Backoff(attempt+1, e.streams[slot])
+				continue
+			}
+			add(&st.Missing, 1)
+			return 0, probeMissing
+		}
+	}
 }

@@ -1,0 +1,115 @@
+package mwu
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+// Config is the unified learner configuration — one construction path for
+// all three MWU realizations, replacing the divergent
+// New/NewStandard/NewSlate/NewDistributed shapes (which remain as thin
+// deprecated wrappers). Zero fields take the evaluation defaults of
+// Sec. IV-B, exactly as the old factory did; the realization-specific
+// meaning of each shared knob is documented on the field.
+type Config struct {
+	// Algorithm selects the realization: "standard", "slate", or
+	// "distributed" (see Names).
+	Algorithm string
+	// K is the number of options. Required.
+	K int
+
+	// Agents is the per-iteration parallelism: the evaluator count for
+	// Standard, the slate size n for Slate, and the population size for
+	// Distributed. 0 takes each realization's evaluation default
+	// (⌈0.05k⌉ floored at 16, ⌈γk⌉, and DefaultPopSize respectively).
+	Agents int
+	// Rate is the realization's learning intensity: η for Standard, γ for
+	// Slate, β for Distributed. 0 takes the evaluation default (0.05,
+	// 0.05, 0.71).
+	Rate float64
+	// Convergence is the convergence threshold: leader-probability
+	// tolerance for Standard and Slate, plurality fraction for
+	// Distributed. 0 takes the default (1e-5, 1e-5, 0.30).
+	Convergence float64
+	// Faults is the fault injector for protocols that own their faults —
+	// today the message-passing Distributed runtime (agent crashes,
+	// message faults). Probe-level faults belong to RunConfig.Faults, not
+	// here: they are a property of the evaluation fabric, not the learner.
+	Faults *faults.Injector
+}
+
+// Option mutates a Config; NewLearner applies options in order after the
+// base Config, so the functional style and the struct style compose.
+type Option func(*Config)
+
+// WithAgents sets the per-iteration parallelism (Config.Agents).
+func WithAgents(n int) Option { return func(c *Config) { c.Agents = n } }
+
+// WithRate sets the learning intensity (Config.Rate): η / γ / β.
+func WithRate(rate float64) Option { return func(c *Config) { c.Rate = rate } }
+
+// WithConvergence sets the convergence threshold (Config.Convergence).
+func WithConvergence(v float64) Option { return func(c *Config) { c.Convergence = v } }
+
+// WithFaults sets the learner-owned fault injector (Config.Faults).
+func WithFaults(in *faults.Injector) Option { return func(c *Config) { c.Faults = in } }
+
+// NewLearner is the unified factory: it builds the configured realization
+// with its own RNG stream. Distributed configurations whose population
+// exceeds the tractability bound return *ErrIntractable, mirroring the
+// two intractable cells in the paper's Table II; an unknown Algorithm is
+// an error.
+func NewLearner(cfg Config, r *rng.RNG, opts ...Option) (Learner, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("mwu: Config.K must be positive (got %d)", cfg.K)
+	}
+	switch cfg.Algorithm {
+	case "standard":
+		agents := cfg.Agents
+		if agents <= 0 {
+			// Evaluation default: comparable with Slate's n = ⌈0.05k⌉,
+			// floored at the paper's 16 threads.
+			agents = (cfg.K*5 + 99) / 100
+			if agents < 16 {
+				agents = 16
+			}
+		}
+		eta := cfg.Rate
+		if eta <= 0 {
+			eta = 0.05
+		}
+		return NewStandard(StandardConfig{K: cfg.K, Agents: agents, Eta: eta, Tol: cfg.Convergence}, r), nil
+	case "slate":
+		gamma := cfg.Rate
+		if gamma <= 0 {
+			gamma = 0.05
+		}
+		return NewSlate(SlateConfig{K: cfg.K, N: cfg.Agents, Gamma: gamma, Tol: cfg.Convergence}, r), nil
+	case "distributed":
+		return NewDistributed(DistributedConfig{
+			K:         cfg.K,
+			PopSize:   cfg.Agents,
+			Mu:        0.05,
+			Beta:      cfg.Rate,
+			Plurality: cfg.Convergence,
+			Faults:    cfg.Faults,
+		}, r)
+	default:
+		return nil, fmt.Errorf("mwu: unknown learner %q (want one of %v)", cfg.Algorithm, Names)
+	}
+}
+
+// MustNewLearner is NewLearner for callers with known-good configurations;
+// it panics on error.
+func MustNewLearner(cfg Config, r *rng.RNG, opts ...Option) Learner {
+	l, err := NewLearner(cfg, r, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

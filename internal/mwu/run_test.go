@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"sync/atomic"
 	"testing"
 
@@ -20,7 +22,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 			seed := rng.New(42)
 			l := MustNew(name, 64, seed.Split())
 			p := bandit.NewProblem(dist.Random("r", 64, rng.New(7)))
-			return Run(l, p, seed.Split(), RunConfig{MaxIter: 300, Workers: workers})
+			return Run(context.Background(), l, p, seed.Split(), RunConfig{MaxIter: 300, Workers: workers})
 		}
 		serial := run(1)
 		parallel := run(8)
@@ -83,7 +85,7 @@ func countingOracle(k int) *bandit.FuncOracle {
 func TestRunReportsStopAndConvergeOnSameCycle(t *testing.T) {
 	l := &scriptedLearner{arms: []int{0, 1}, convergeAfter: 1}
 	called := 0
-	res := Run(l, countingOracle(2), rng.New(1), RunConfig{
+	res := Run(context.Background(), l, countingOracle(2), rng.New(1), RunConfig{
 		MaxIter: 50,
 		Workers: 1,
 		OnIteration: func(iter int, _ Learner) bool {
@@ -106,7 +108,7 @@ func TestRunReportsStopAndConvergeOnSameCycle(t *testing.T) {
 // callback fires before convergence and only Stopped is set.
 func TestRunStopWithoutConvergence(t *testing.T) {
 	l := &scriptedLearner{arms: []int{0, 1}}
-	res := Run(l, countingOracle(2), rng.New(1), RunConfig{
+	res := Run(context.Background(), l, countingOracle(2), rng.New(1), RunConfig{
 		MaxIter: 50,
 		Workers: 1,
 		OnIteration: func(iter int, _ Learner) bool {
@@ -130,7 +132,7 @@ func TestRunStopWithoutConvergence(t *testing.T) {
 func TestRunRewardsSafeToRetain(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		l := &scriptedLearner{arms: []int{0, 1, 2, 3}, convergeAfter: 6}
-		Run(l, countingOracle(4), rng.New(1), RunConfig{MaxIter: 50, Workers: workers})
+		Run(context.Background(), l, countingOracle(4), rng.New(1), RunConfig{MaxIter: 50, Workers: workers})
 		if len(l.retained) != 6 {
 			t.Fatalf("workers=%d: retained %d slices, want 6", workers, len(l.retained))
 		}

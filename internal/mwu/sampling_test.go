@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -200,8 +202,8 @@ func runPair(t *testing.T, name string, mk func() (Learner, Learner)) {
 	oracle := func(seed uint64, k int) bandit.Oracle {
 		return bandit.NewProblem(dist.Random(name, k, rng.New(seed)))
 	}
-	resL := Run(l, oracle(300, l.K()), rng.New(301), RunConfig{MaxIter: 400, Workers: 1})
-	resR := Run(ref, oracle(300, ref.K()), rng.New(301), RunConfig{MaxIter: 400, Workers: 1})
+	resL := Run(context.Background(), l, oracle(300, l.K()), rng.New(301), RunConfig{MaxIter: 400, Workers: 1})
+	resR := Run(context.Background(), ref, oracle(300, ref.K()), rng.New(301), RunConfig{MaxIter: 400, Workers: 1})
 	if resL != resR {
 		t.Fatalf("%s: trajectories diverged: %+v vs %+v", name, resL, resR)
 	}

@@ -201,6 +201,57 @@ func (s *Slate) Update(arms []int, rewards []float64) {
 	}
 }
 
+// UpdateMissing implements PartialUpdater: Slate degrades by importance-
+// correcting the surviving slate members. A missing reward is a missing
+// observation, not a zero reward; treating it as zero would bias every
+// faulty cycle downward. Instead the arrived estimates are scaled by
+// 1/p̂, where p̂ = arrived/n is the empirical probe-survival rate, so the
+// expected total update mass matches a clean cycle — the same
+// inverse-propensity trick the slate update already applies to inclusion
+// probabilities, extended to fault survival.
+func (s *Slate) UpdateMissing(arms []int, rewards []float64, missing []bool) {
+	if len(arms) != len(rewards) || len(arms) != len(missing) {
+		panic("mwu: arms/rewards/missing length mismatch")
+	}
+	arrived := 0
+	for _, miss := range missing {
+		if !miss {
+			arrived++
+		}
+	}
+	if arrived == 0 {
+		// Every reward vanished: nothing arrived to learn from. Record the
+		// cycle (CPU was burned) and leave the weights alone.
+		s.metrics.recordIteration(s.cfg.N, 0, 0)
+		s.stable = 0
+		return
+	}
+	phat := float64(arrived) / float64(len(arms))
+	for j, arm := range arms {
+		if missing[j] {
+			continue
+		}
+		m := s.marginals[arm]
+		if m <= 0 {
+			panic("mwu: probed option had zero inclusion probability")
+		}
+		xhat := rewards[j] / (m * phat)
+		s.weights[arm] *= math.Exp(s.cfg.Eta * xhat)
+	}
+	s.rescaleIfNeeded()
+	s.metrics.recordIteration(s.cfg.N, arrived, int64(arrived))
+
+	lead := s.Leader()
+	if s.maxInclusion()-s.marginals[lead] <= s.cfg.Tol {
+		s.stable++
+		if s.stable >= s.cfg.Window {
+			s.converged = true
+		}
+	} else {
+		s.stable = 0
+	}
+}
+
 // rescaleIfNeeded divides all weights by the maximum when it grows large,
 // preventing overflow on long runs. Selection depends only on weight
 // ratios, so behaviour is unchanged.

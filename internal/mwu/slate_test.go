@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -113,7 +115,7 @@ func TestSlateLearnsBestArm(t *testing.T) {
 	p := bandit.NewProblem(dist.New("gap", values))
 	seed := rng.New(5)
 	s := NewSlate(SlateConfig{K: 30, N: 5, Eta: 0.05}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
 	if res.Choice != 17 {
 		t.Fatalf("learned arm %d, want 17", res.Choice)
 	}
@@ -126,7 +128,7 @@ func TestSlateConvergenceCriterion(t *testing.T) {
 	p := bandit.NewProblem(dist.New("gap", values))
 	seed := rng.New(6)
 	s := NewSlate(SlateConfig{K: 6, N: 2, Eta: 0.3}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
 	if !res.Converged {
 		t.Fatalf("did not converge (leader inclusion %v, max %v)",
 			s.LeaderInclusion(), s.maxInclusion())
@@ -159,7 +161,7 @@ func TestSlateMetrics(t *testing.T) {
 	p := bandit.NewProblem(dist.New("x", []float64{0.5, 0.5, 0.5, 0.5}))
 	seed := rng.New(8)
 	s := NewSlate(SlateConfig{K: 4, N: 2, Window: 1 << 30}, seed.Split())
-	Run(s, p, seed.Split(), RunConfig{MaxIter: 20, Workers: 1})
+	Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 20, Workers: 1})
 	m := s.Metrics()
 	if m.Iterations != 20 {
 		t.Fatalf("iterations = %d", m.Iterations)
@@ -201,7 +203,7 @@ func TestSlateDeterministicUnderSeed(t *testing.T) {
 		p := bandit.NewProblem(dist.Random("r", 40, rng.New(300)))
 		seed := rng.New(10)
 		s := NewSlate(SlateConfig{K: 40, N: 4}, seed.Split())
-		res := Run(s, p, seed.Split(), RunConfig{MaxIter: 200, Workers: 1})
+		res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 200, Workers: 1})
 		return res.Choice, res.Iterations
 	}
 	c1, i1 := run()
@@ -228,7 +230,7 @@ func TestSlateSamplerEquivalence(t *testing.T) {
 	run := func(exact bool, seed uint64) (int, bool) {
 		p := bandit.NewProblem(dist.New("eq", values))
 		s := NewSlate(SlateConfig{K: 10, N: 3, Eta: 0.1, ExactDecomposition: exact}, rng.New(seed))
-		res := Run(s, p, rng.New(seed^0xF00), RunConfig{MaxIter: 8000, Workers: 1})
+		res := Run(context.Background(), s, p, rng.New(seed^0xF00), RunConfig{MaxIter: 8000, Workers: 1})
 		return res.Choice, res.Converged
 	}
 	sysWins, decWins := 0, 0

@@ -170,6 +170,43 @@ func (s *Standard) Update(arms []int, rewards []float64) {
 	}
 }
 
+// UpdateMissing implements PartialUpdater: Standard degrades by skipping
+// the missing slots — an agent whose reward never arrived contributes no
+// multiplicative update this cycle, and only the arrived agents report to
+// the weight holder (congestion shrinks with them). The weight vector
+// stays unbiased in the surviving evidence; it just learns from fewer
+// observations.
+func (s *Standard) UpdateMissing(arms []int, rewards []float64, missing []bool) {
+	if len(arms) != len(rewards) || len(arms) != len(missing) {
+		panic("mwu: arms/rewards/missing length mismatch")
+	}
+	arrived := 0
+	for j, arm := range arms {
+		if missing[j] {
+			continue
+		}
+		arrived++
+		old := s.weights[arm]
+		if rewards[j] == 0 {
+			s.weights[arm] = old * (1 - s.cfg.Eta)
+		} else {
+			s.weights[arm] = old * (1 + s.cfg.Eta)
+		}
+		s.sum += s.weights[arm] - old
+		s.fen.Add(arm, s.weights[arm]-old)
+	}
+	s.sinceSync++
+	if s.sinceSync >= resyncEvery {
+		s.resync()
+	}
+	s.rescaleIfNeeded()
+	// CPU was spent on every agent; only the arrived ones synchronized.
+	s.metrics.recordIteration(s.cfg.Agents, arrived, int64(arrived))
+	if s.LeaderProb() >= 1-s.cfg.Tol {
+		s.converged = true
+	}
+}
+
 // rescaleIfNeeded renormalizes the weight vector when its mass drifts far
 // from its initial scale in either direction (success multipliers grow
 // weights, failure multipliers shrink them), preventing overflow and

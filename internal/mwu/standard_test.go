@@ -1,6 +1,8 @@
 package mwu
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -92,7 +94,7 @@ func TestStandardLearnsBestArm(t *testing.T) {
 	p := bandit.NewProblem(dist.New("gap", values))
 	seed := rng.New(5)
 	s := NewStandard(StandardConfig{K: 6, Agents: 8, Eta: 0.1}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{MaxIter: 2000, Workers: 1})
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 2000, Workers: 1})
 	if res.Choice != 3 {
 		t.Fatalf("learned arm %d, want 3 (leaderProb %v)", res.Choice, res.LeaderProb)
 	}
@@ -103,7 +105,7 @@ func TestStandardConvergesOnEasyProblem(t *testing.T) {
 	p := bandit.NewProblem(dist.New("easy", values))
 	seed := rng.New(6)
 	s := NewStandard(StandardConfig{K: 4, Agents: 8, Eta: 0.2}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 5000, Workers: 1})
 	if !res.Converged {
 		t.Fatalf("did not converge in %d iterations (leaderProb %v)", res.Iterations, res.LeaderProb)
 	}
@@ -116,7 +118,7 @@ func TestStandardMetricsAccounting(t *testing.T) {
 	p := bandit.NewProblem(dist.New("x", []float64{0.5, 0.5}))
 	seed := rng.New(7)
 	s := NewStandard(StandardConfig{K: 2, Agents: 4}, seed.Split())
-	Run(s, p, seed.Split(), RunConfig{MaxIter: 10, Workers: 1})
+	Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 10, Workers: 1})
 	m := s.Metrics()
 	if m.Iterations == 0 || m.Iterations > 10 {
 		t.Fatalf("iterations = %d", m.Iterations)
@@ -140,7 +142,7 @@ func TestStandardDeterministicUnderSeed(t *testing.T) {
 		p := bandit.NewProblem(dist.Random("r", 32, rng.New(100)))
 		seed := rng.New(8)
 		s := NewStandard(StandardConfig{K: 32, Agents: 8}, seed.Split())
-		res := Run(s, p, seed.Split(), RunConfig{MaxIter: 300, Workers: 1})
+		res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 300, Workers: 1})
 		return res.Choice, res.Iterations
 	}
 	c1, i1 := run()
@@ -155,7 +157,7 @@ func TestStandardParallelMatchesSequential(t *testing.T) {
 		p := bandit.NewProblem(dist.Random("r", 32, rng.New(200)))
 		seed := rng.New(9)
 		s := NewStandard(StandardConfig{K: 32, Agents: 16}, seed.Split())
-		res := Run(s, p, seed.Split(), RunConfig{MaxIter: 300, Workers: workers})
+		res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 300, Workers: workers})
 		return res.Choice, res.Iterations
 	}
 	c1, i1 := run(1)
@@ -192,7 +194,7 @@ func TestQuickStandardWeightsStayPositive(t *testing.T) {
 		p := bandit.NewProblem(dist.Random("r", k, rng.New(seed)))
 		sd := rng.New(seed ^ 0xabc)
 		s := NewStandard(StandardConfig{K: k, Agents: 4}, sd.Split())
-		Run(s, p, sd.Split(), RunConfig{MaxIter: 100, Workers: 1})
+		Run(context.Background(), s, p, sd.Split(), RunConfig{MaxIter: 100, Workers: 1})
 		for _, w := range s.Weights() {
 			if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
 				return false
@@ -212,7 +214,7 @@ func TestRunRespectsMaxIter(t *testing.T) {
 	p := bandit.NewProblem(dist.New("flat", []float64{0.5, 0.5, 0.5}))
 	seed := rng.New(11)
 	s := NewStandard(StandardConfig{K: 3, Agents: 2}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{MaxIter: 50, Workers: 1})
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{MaxIter: 50, Workers: 1})
 	if res.Iterations != 50 || res.Converged {
 		t.Fatalf("iterations = %d converged = %v", res.Iterations, res.Converged)
 	}
@@ -222,7 +224,7 @@ func TestRunOnIterationStops(t *testing.T) {
 	p := bandit.NewProblem(dist.New("flat", []float64{0.5, 0.5}))
 	seed := rng.New(12)
 	s := NewStandard(StandardConfig{K: 2, Agents: 2}, seed.Split())
-	res := Run(s, p, seed.Split(), RunConfig{
+	res := Run(context.Background(), s, p, seed.Split(), RunConfig{
 		MaxIter: 1000,
 		Workers: 1,
 		OnIteration: func(iter int, l Learner) bool {

@@ -1,6 +1,8 @@
 package pool_test
 
 import (
+	"context"
+
 	"bytes"
 	"fmt"
 
@@ -25,7 +27,7 @@ nop
 		{Input: []int64{0}, Want: []int64{0}},
 	}}
 
-	pl := pool.Precompute(program, suite, pool.Config{Target: 5, Workers: 2}, rng.New(1))
+	pl := pool.Precompute(context.Background(), program, suite, pool.Config{Target: 5, Workers: 2}, rng.New(1))
 
 	var buf bytes.Buffer
 	if err := pl.Save(&buf); err != nil {

@@ -15,11 +15,14 @@
 package pool
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mutation"
 	"repro/internal/rng"
@@ -72,6 +75,17 @@ type Stats struct {
 	// worker.
 	CacheHits       int64
 	DedupSuppressed int64
+	// ProbeFaults and Retries count injected candidate-evaluation faults
+	// and the re-issues that absorbed them (zero without an injector).
+	ProbeFaults int64
+	Retries     int64
+	// Dropped counts candidates abandoned because their evaluation kept
+	// faulting after all retries; each is a pool entry we may have lost.
+	Dropped int64
+	// Degraded reports the build did not run to its natural end: the
+	// context was cancelled, or candidates were dropped to faults. The
+	// pool is still valid — just possibly smaller than a clean build.
+	Degraded bool
 }
 
 // SafeRate returns the fraction of evaluated candidates that were safe
@@ -95,6 +109,13 @@ type Config struct {
 	MaxAttempts int
 	// Workers is the parallel evaluation width; 0 means 8.
 	Workers int
+	// Faults, when non-nil, injects candidate-evaluation faults at the
+	// injector's configured rates (deterministic per candidate sequence
+	// number, independent of worker count).
+	Faults *faults.Injector
+	// Retry re-issues faulted candidate evaluations; the zero value
+	// retries nothing, so any fault drops its candidate.
+	Retry faults.Retry
 }
 
 func (c *Config) fill() {
@@ -114,7 +135,18 @@ func (c *Config) fill() {
 // still passes; negative tests are deliberately excluded — a safe mutation
 // need not repair anything, and the pool is reusable across future bugs in
 // the same program (Sec. III-C).
-func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.RNG) *Pool {
+//
+// Cancelling the context stops the build at the next batch boundary and
+// returns the partial pool with Stats.Degraded set; the evaluation
+// workers are always drained before return. With cfg.Faults configured,
+// transient candidate-evaluation faults are retried per cfg.Retry; a
+// candidate that keeps faulting is dropped (Stats.Dropped) rather than
+// hanging the build. Fault decisions are keyed by candidate sequence
+// number, so a fixed seed yields the same schedule at any worker count.
+func Precompute(ctx context.Context, p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.RNG) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.fill()
 	covered := testsuite.CoveredIndices(p, suite)
 	if len(covered) == 0 {
@@ -130,8 +162,12 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 	const batchSize = 64
 	type cand struct {
 		m    mutation.Mutation
+		seq  int // generation sequence number: the fault-decision coordinate
 		safe bool
+		ok   bool // evaluation completed (false = dropped to faults)
 	}
+	inj := cfg.Faults
+	var probeFaults, retries, dropped int64
 	// Persistent safety-evaluation workers for the whole build: candidate
 	// batches are dispatched over a channel instead of spawning a
 	// goroutine per candidate per batch.
@@ -140,15 +176,38 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			for c := range jobs {
-				mutant := mutation.Apply(p, []mutation.Mutation{c.m})
-				c.safe = runner.Safe(mutant)
+				c.ok = true
+				for attempt := 0; ; attempt++ {
+					if inj.ProbeFault(0, c.seq, attempt) == faults.None {
+						break
+					}
+					atomic.AddInt64(&probeFaults, 1)
+					if cfg.Retry.Enabled() && attempt < cfg.Retry.Max {
+						atomic.AddInt64(&retries, 1)
+						continue
+					}
+					// Retries exhausted: abandon the candidate instead of
+					// hanging the batch on it.
+					atomic.AddInt64(&dropped, 1)
+					c.ok = false
+					break
+				}
+				if c.ok {
+					mutant := mutation.Apply(p, []mutation.Mutation{c.m})
+					c.safe = runner.Safe(mutant)
+				}
 				wg.Done()
 			}
 		}()
 	}
 	defer close(jobs)
 
+	seq := 0
 	for pl.stats.Attempts < cfg.MaxAttempts && len(pl.mutations) < cfg.Target {
+		if ctx.Err() != nil {
+			pl.stats.Degraded = true
+			break
+		}
 		// Sequential, deterministic candidate generation.
 		batch := make([]cand, 0, batchSize)
 		for len(batch) < batchSize && pl.stats.Attempts < cfg.MaxAttempts {
@@ -159,7 +218,8 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 				continue
 			}
 			seen[m.ID()] = struct{}{}
-			batch = append(batch, cand{m: m})
+			batch = append(batch, cand{m: m, seq: seq})
+			seq++
 		}
 		if len(batch) == 0 {
 			break
@@ -176,7 +236,7 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 		// final batch overshoots Target; only generation is capped by the
 		// loop condition above.
 		for _, c := range batch {
-			if c.safe {
+			if c.ok && c.safe {
 				pl.mutations = append(pl.mutations, c.m)
 			}
 		}
@@ -184,6 +244,12 @@ func Precompute(p *lang.Program, suite *testsuite.Suite, cfg Config, seed *rng.R
 	pl.stats.Safe = len(pl.mutations)
 	pl.stats.CacheHits = runner.CacheHits()
 	pl.stats.DedupSuppressed = runner.DedupSuppressed()
+	pl.stats.ProbeFaults = probeFaults
+	pl.stats.Retries = retries
+	pl.stats.Dropped = dropped
+	if dropped > 0 {
+		pl.stats.Degraded = true
+	}
 	return pl
 }
 

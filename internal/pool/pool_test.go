@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+
 	"bytes"
 	"testing"
 
@@ -37,7 +39,7 @@ func suite() *testsuite.Suite {
 
 func TestPrecomputeFindsSafeMutations(t *testing.T) {
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 10, Workers: 4}, rng.New(1))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 10, Workers: 4}, rng.New(1))
 	if pl.Size() == 0 {
 		t.Fatal("no safe mutations found in a redundant program")
 	}
@@ -45,7 +47,7 @@ func TestPrecomputeFindsSafeMutations(t *testing.T) {
 	runner := testsuite.NewRunner(suite())
 	for _, m := range pl.Mutations() {
 		mutant := mutation.Apply(p, []mutation.Mutation{m})
-		if !runner.Eval(mutant).Safe() {
+		if !runner.Eval(context.Background(), mutant).Safe() {
 			t.Fatalf("pool mutation %v is unsafe", m.ID())
 		}
 	}
@@ -57,7 +59,7 @@ func TestPrecomputeCapsGenerationAtTarget(t *testing.T) {
 	// safe mutations (when attainable) and overshoots by at most the safe
 	// members of the final 64-candidate batch.
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 5, Workers: 2}, rng.New(2))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 5, Workers: 2}, rng.New(2))
 	if pl.Size() < 5 {
 		t.Fatalf("pool size %d below attainable target 5", pl.Size())
 	}
@@ -76,7 +78,7 @@ func TestPrecomputeKeepsAllEvaluatedSafeCandidates(t *testing.T) {
 	s := &testsuite.Suite{
 		Negative: []testsuite.Test{{Name: "n1", Input: []int64{1, 2}, Want: []int64{99}}},
 	}
-	pl := Precompute(p, s, Config{Target: 3, Workers: 4}, rng.New(21))
+	pl := Precompute(context.Background(), p, s, Config{Target: 3, Workers: 4}, rng.New(21))
 	st := pl.Stats()
 	if pl.Size() != st.Evaluated {
 		t.Fatalf("pool size %d != evaluated %d: evaluated-safe candidates were dropped", pl.Size(), st.Evaluated)
@@ -92,7 +94,7 @@ func TestPrecomputeKeepsAllEvaluatedSafeCandidates(t *testing.T) {
 func TestPrecomputeDeterministicAcrossWorkerCounts(t *testing.T) {
 	p := lang.MustParse(src)
 	ids := func(workers int) []string {
-		pl := Precompute(p, suite(), Config{Target: 8, Workers: workers}, rng.New(3))
+		pl := Precompute(context.Background(), p, suite(), Config{Target: 8, Workers: workers}, rng.New(3))
 		var out []string
 		for _, m := range pl.Mutations() {
 			out = append(out, m.ID())
@@ -112,7 +114,7 @@ func TestPrecomputeDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestPrecomputeStats(t *testing.T) {
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 10, Workers: 4}, rng.New(4))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 10, Workers: 4}, rng.New(4))
 	s := pl.Stats()
 	if s.Attempts < s.Evaluated {
 		t.Fatalf("attempts %d < evaluated %d", s.Attempts, s.Evaluated)
@@ -128,7 +130,7 @@ func TestPrecomputeStats(t *testing.T) {
 func TestPrecomputeAttemptBudget(t *testing.T) {
 	// An unsatisfiable target must stop at MaxAttempts, not spin forever.
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 100000, MaxAttempts: 300, Workers: 2}, rng.New(5))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 100000, MaxAttempts: 300, Workers: 2}, rng.New(5))
 	if pl.Stats().Attempts > 300 {
 		t.Fatalf("attempts %d exceeded budget", pl.Stats().Attempts)
 	}
@@ -136,7 +138,7 @@ func TestPrecomputeAttemptBudget(t *testing.T) {
 
 func TestSampleDistinct(t *testing.T) {
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 10, Workers: 2}, rng.New(6))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 10, Workers: 2}, rng.New(6))
 	if pl.Size() < 3 {
 		t.Skip("pool too small for this seed")
 	}
@@ -174,14 +176,14 @@ func TestApplySample(t *testing.T) {
 	}
 	// Deleting the two trailing nops is behaviour-preserving.
 	r := testsuite.NewRunner(suite())
-	if !r.Eval(mutant).Safe() {
+	if !r.Eval(context.Background(), mutant).Safe() {
 		t.Fatal("mutant should be safe")
 	}
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	p := lang.MustParse(src)
-	pl := Precompute(p, suite(), Config{Target: 6, Workers: 2}, rng.New(9))
+	pl := Precompute(context.Background(), p, suite(), Config{Target: 6, Workers: 2}, rng.New(9))
 	var buf bytes.Buffer
 	if err := pl.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -251,5 +253,5 @@ func TestPrecomputePanicsWithoutCoverage(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Precompute(p, empty, Config{Target: 1}, rng.New(1))
+	Precompute(context.Background(), p, empty, Config{Target: 1}, rng.New(1))
 }

@@ -22,6 +22,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -410,14 +411,14 @@ func buildSuite(correct *lang.Program, pr Profile, r *rng.RNG) *testsuite.Suite 
 // no strict subset of the defect deletions repairs it.
 func (sc *Scenario) validate() error {
 	runner := testsuite.NewRunner(sc.Suite)
-	f := runner.Eval(sc.Program)
+	f := runner.Eval(context.Background(), sc.Program)
 	if !f.Safe() {
 		return fmt.Errorf("scenario %s: defective program fails positive tests (%v)", sc.Profile.Name, f)
 	}
 	if f.NegPassed != 0 {
 		return fmt.Errorf("scenario %s: defective program passes the bug test", sc.Profile.Name)
 	}
-	if !runner.Eval(sc.Correct).Repair() {
+	if !runner.Eval(context.Background(), sc.Correct).Repair() {
 		return fmt.Errorf("scenario %s: reference program is not a repair", sc.Profile.Name)
 	}
 	covered := testsuite.Coverage(sc.Program, sc.Suite)
@@ -426,7 +427,7 @@ func (sc *Scenario) validate() error {
 			return fmt.Errorf("scenario %s: defect statement %d not covered", sc.Profile.Name, d)
 		}
 	}
-	if !runner.Eval(mutation.Apply(sc.Program, sc.Repairers)).Repair() {
+	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, sc.Repairers)).Repair() {
 		return fmt.Errorf("scenario %s: canonical repairers do not repair", sc.Profile.Name)
 	}
 	if len(sc.Repairers) > 1 {
@@ -434,7 +435,7 @@ func (sc *Scenario) validate() error {
 		// multi-edit).
 		for i := range sc.Repairers {
 			subset := append(append([]mutation.Mutation(nil), sc.Repairers[:i]...), sc.Repairers[i+1:]...)
-			if runner.Eval(mutation.Apply(sc.Program, subset)).Repair() {
+			if runner.Eval(context.Background(), mutation.Apply(sc.Program, subset)).Repair() {
 				return fmt.Errorf("scenario %s: repairer subset without #%d still repairs", sc.Profile.Name, i)
 			}
 		}
@@ -444,7 +445,7 @@ func (sc *Scenario) validate() error {
 		// correct contribution is required.
 		for _, d := range sc.DefectStmts {
 			one := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: d}})
-			if runner.Eval(one).Repair() {
+			if runner.Eval(context.Background(), one).Repair() {
 				return fmt.Errorf("scenario %s: deleting wrong-code defect %d repairs", sc.Profile.Name, d)
 			}
 		}
@@ -460,7 +461,7 @@ func (sc *Scenario) validate() error {
 // property the paper's benchmark selection provides for the real
 // subjects.
 func (sc *Scenario) BuildPool(workers int, seed *rng.RNG) *pool.Pool {
-	pl := pool.Precompute(sc.Program, sc.Suite, pool.Config{
+	pl := pool.Precompute(context.Background(), sc.Program, sc.Suite, pool.Config{
 		Target:  sc.Profile.PoolTarget,
 		Workers: workers,
 	}, seed)
@@ -507,7 +508,7 @@ func MeasureRepairDensity(pl *pool.Pool, suite *testsuite.Suite, xs []int, trial
 		hits := 0
 		for tr := 0; tr < trials; tr++ {
 			mutant, _ := pl.ApplySample(x, r)
-			if runner.Eval(mutant).Repair() {
+			if runner.Eval(context.Background(), mutant).Repair() {
 				hits++
 			}
 		}

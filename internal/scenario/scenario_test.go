@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -19,14 +21,14 @@ func TestGenerateInvariants(t *testing.T) {
 	sc := Generate(small(1))
 	runner := testsuite.NewRunner(sc.Suite)
 
-	f := runner.Eval(sc.Program)
+	f := runner.Eval(context.Background(), sc.Program)
 	if !f.Safe() {
 		t.Fatalf("defective program fails regression tests: %v", f)
 	}
 	if f.Repair() {
 		t.Fatal("defective program should fail the bug test")
 	}
-	if !runner.Eval(sc.Correct).Repair() {
+	if !runner.Eval(context.Background(), sc.Correct).Repair() {
 		t.Fatal("reference program is not a repair")
 	}
 }
@@ -59,7 +61,7 @@ func TestGenerateDifferentSeedsDiffer(t *testing.T) {
 func TestDefectRepairableByDeletion(t *testing.T) {
 	sc := Generate(small(3))
 	fix := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
-	if !testsuite.NewRunner(sc.Suite).Eval(fix).Repair() {
+	if !testsuite.NewRunner(sc.Suite).Eval(context.Background(), fix).Repair() {
 		t.Fatal("deleting defect statement does not repair")
 	}
 }
@@ -109,7 +111,7 @@ func TestBuildPoolProducesSafeMutations(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		m := pl.Get(r.Intn(pl.Size()))
 		mutant := mutation.Apply(sc.Program, []mutation.Mutation{m})
-		if !runner.Eval(mutant).Safe() {
+		if !runner.Eval(context.Background(), mutant).Safe() {
 			t.Fatalf("pool mutation %v unsafe", m.ID())
 		}
 	}
@@ -256,7 +258,7 @@ func TestMultiEditNoSingleDeleteRepairs(t *testing.T) {
 	runner := testsuite.NewRunner(sc.Suite)
 	for _, d := range sc.DefectStmts {
 		one := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: d}})
-		if runner.Eval(one).Repair() {
+		if runner.Eval(context.Background(), one).Repair() {
 			t.Fatalf("single delete at %d repaired a 2-edit defect", d)
 		}
 	}
@@ -264,7 +266,7 @@ func TestMultiEditNoSingleDeleteRepairs(t *testing.T) {
 	for _, d := range sc.DefectStmts {
 		both = append(both, mutation.Mutation{Op: mutation.Delete, At: d})
 	}
-	if !runner.Eval(mutation.Apply(sc.Program, both)).Repair() {
+	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, both)).Repair() {
 		t.Fatal("deleting both defects does not repair")
 	}
 }
@@ -313,7 +315,7 @@ func TestWrongCodeRepairers(t *testing.T) {
 		t.Fatalf("repairer op = %v, want replace", m.Op)
 	}
 	runner := testsuite.NewRunner(sc.Suite)
-	if !runner.Eval(mutation.Apply(sc.Program, sc.Repairers)).Repair() {
+	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, sc.Repairers)).Repair() {
 		t.Fatal("twin replacement does not repair")
 	}
 }
@@ -322,7 +324,7 @@ func TestWrongCodeDeleteDoesNotRepair(t *testing.T) {
 	sc := Generate(wrongCode(32))
 	runner := testsuite.NewRunner(sc.Suite)
 	del := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
-	if runner.Eval(del).Repair() {
+	if runner.Eval(context.Background(), del).Repair() {
 		t.Fatal("deleting a wrong-code defect must not repair")
 	}
 }
@@ -345,7 +347,7 @@ func TestWrongCodeAnyTwinRepairs(t *testing.T) {
 	runner := testsuite.NewRunner(sc.Suite)
 	for _, tw := range sc.TwinStmts[0] {
 		fix := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Replace, At: sc.DefectStmt(), From: tw}})
-		if !runner.Eval(fix).Repair() {
+		if !runner.Eval(context.Background(), fix).Repair() {
 			t.Fatalf("replacement with twin %d does not repair", tw)
 		}
 	}

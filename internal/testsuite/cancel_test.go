@@ -1,0 +1,62 @@
+package testsuite
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestEvalCancelledNotCachedNotCounted: a cancelled evaluation returns a
+// partial Fitness to its caller, but the cache must stay clean — no
+// stored entry, no eval counted — so a later caller recomputes the full
+// answer.
+func TestEvalCancelledNotCachedNotCounted(t *testing.T) {
+	p := lang.MustParse(sumSrc)
+	r := NewRunner(sumSuite())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial := r.Eval(ctx, p)
+	if r.Evals() != 0 {
+		t.Fatalf("cancelled evaluation counted: %d evals", r.Evals())
+	}
+	if partial.PosPassed != 0 || partial.NegPassed != 0 {
+		t.Fatalf("pre-cancelled context still ran tests: %+v", partial)
+	}
+
+	full := r.Eval(context.Background(), p)
+	if r.Evals() != 1 {
+		t.Fatalf("full evaluation after cancelled one: %d evals, want 1", r.Evals())
+	}
+	if full.PosPassed != 3 || full.NegPassed != 1 {
+		t.Fatalf("full fitness wrong after cancelled predecessor: %+v", full)
+	}
+	if r.CacheHits() != 0 {
+		t.Fatalf("full evaluation hit a cache poisoned by the cancelled one: %d hits", r.CacheHits())
+	}
+
+	// And the completed result is cached for the next caller.
+	again := r.Eval(context.Background(), p)
+	if again != full {
+		t.Fatalf("cached fitness diverges: %+v vs %+v", again, full)
+	}
+	if r.CacheHits() != 1 || r.Evals() != 1 {
+		t.Fatalf("cache bypassed: %d hits, %d evals", r.CacheHits(), r.Evals())
+	}
+}
+
+// TestEvalUncachedCompleteness: evalUncached reports completeness, the
+// bit the cache layer keys storage on.
+func TestEvalUncachedCompleteness(t *testing.T) {
+	p := lang.MustParse(sumSrc)
+	r := NewRunner(sumSuite())
+	ctx, cancel := context.WithCancel(context.Background())
+	if f, complete := r.evalUncached(ctx, p); !complete {
+		t.Fatalf("uncancelled evalUncached incomplete: %+v", f)
+	}
+	cancel()
+	if f, complete := r.evalUncached(ctx, p); complete {
+		t.Fatalf("cancelled evalUncached claimed completeness: %+v", f)
+	}
+}

@@ -1,6 +1,8 @@
 package testsuite
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -36,7 +38,7 @@ func TestShardedRunnerConcurrentDistinctMutants(t *testing.T) {
 				// Different goroutines walk the programs in different
 				// orders so shard access overlaps.
 				p := programs[(i*(g+1))%distinct]
-				f := r.Eval(p)
+				f := r.Eval(context.Background(), p)
 				want := 0
 				if (i*(g+1))%distinct == 0 {
 					want = 1
@@ -87,7 +89,7 @@ print i
 		go func() {
 			defer wg.Done()
 			<-start
-			if f := r.Eval(p.Clone()); !f.Safe() {
+			if f := r.Eval(context.Background(), p.Clone()); !f.Safe() {
 				t.Error("slow program reported unsafe")
 			}
 		}()
@@ -129,7 +131,7 @@ func TestShardedRunnerMixedLevelsConcurrent(t *testing.T) {
 				}
 				switch i % 3 {
 				case 0:
-					f := r.Eval(p)
+					f := r.Eval(context.Background(), p)
 					if f.Safe() != wantSafe || f.Repair() != wantRepair {
 						t.Errorf("Eval: fitness %v", f)
 						return
@@ -182,7 +184,7 @@ func TestShardedRunnerUnsafeAnswersOutcome(t *testing.T) {
 // counters.
 func TestShardContentionCounter(t *testing.T) {
 	r := NewRunner(sumSuite())
-	r.Eval(lang.MustParse(sumSrc))
+	r.Eval(context.Background(), lang.MustParse(sumSrc))
 	if c := r.ShardContention(); c != 0 {
 		t.Fatalf("sequential use contended %d times", c)
 	}

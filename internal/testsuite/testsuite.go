@@ -8,6 +8,7 @@
 package testsuite
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -218,66 +219,86 @@ func resultOf(e *cacheEntry) probeResult {
 // computation already in flight block on its channel instead of
 // re-running the suite (counted as both a cache hit — an evaluation was
 // avoided — and a dedup suppression).
-func (r *Runner) evalAt(key uint64, level uint8, compute func() probeResult) probeResult {
+//
+// compute reports whether its result is complete. An incomplete result
+// (the evaluation was cancelled mid-suite) is returned to the caller that
+// computed it but is neither cached nor counted as an evaluation, and
+// woken joiners loop back to re-check the entry instead of trusting it —
+// one of them becomes the next computer if the answer is still wanted.
+func (r *Runner) evalAt(key uint64, level uint8, compute func() (probeResult, bool)) probeResult {
 	sh := r.shard(key)
-
-	// Fast path: a completed result under the shared read lock.
-	sh.mu.RLock()
-	if e, ok := sh.entries[key]; ok && answered(e, level) {
-		res := resultOf(e)
-		sh.mu.RUnlock()
-		sh.hits.Add(1)
-		return res
-	}
-	sh.mu.RUnlock()
-
-	r.lockShard(sh)
-	if sh.entries == nil {
-		sh.entries = make(map[uint64]*cacheEntry)
-	}
-	e := sh.entries[key]
-	if e == nil {
-		e = &cacheEntry{}
-		sh.entries[key] = e
-	}
-	if answered(e, level) {
-		res := resultOf(e)
-		sh.mu.Unlock()
-		sh.hits.Add(1)
-		return res
-	}
-	// Join an in-flight computation that will reach the needed level.
-	for l := level; l <= levelFitness; l++ {
-		if ch := e.inflight[l]; ch != nil {
-			sh.mu.Unlock()
-			<-ch
-			sh.hits.Add(1)
-			sh.dedup.Add(1)
-			sh.mu.RLock()
+	for {
+		// Fast path: a completed result under the shared read lock.
+		sh.mu.RLock()
+		if e, ok := sh.entries[key]; ok && answered(e, level) {
 			res := resultOf(e)
 			sh.mu.RUnlock()
+			sh.hits.Add(1)
 			return res
 		}
-	}
-	// This goroutine computes for everyone who joins at this level.
-	ch := make(chan struct{})
-	e.inflight[level] = ch
-	sh.mu.Unlock()
+		sh.mu.RUnlock()
 
-	res := compute()
-	r.evals.Add(1)
+		r.lockShard(sh)
+		if sh.entries == nil {
+			sh.entries = make(map[uint64]*cacheEntry)
+		}
+		e := sh.entries[key]
+		if e == nil {
+			e = &cacheEntry{}
+			sh.entries[key] = e
+		}
+		if answered(e, level) {
+			res := resultOf(e)
+			sh.mu.Unlock()
+			sh.hits.Add(1)
+			return res
+		}
+		// Join an in-flight computation that will reach the needed level.
+		joined := false
+		for l := level; l <= levelFitness; l++ {
+			if ch := e.inflight[l]; ch != nil {
+				sh.mu.Unlock()
+				<-ch
+				joined = true
+				break
+			}
+		}
+		if joined {
+			// The computation we joined may have been cancelled and left
+			// nothing behind; verify before answering from the entry.
+			sh.mu.RLock()
+			if answered(e, level) {
+				res := resultOf(e)
+				sh.mu.RUnlock()
+				sh.hits.Add(1)
+				sh.dedup.Add(1)
+				return res
+			}
+			sh.mu.RUnlock()
+			continue
+		}
+		// This goroutine computes for everyone who joins at this level.
+		ch := make(chan struct{})
+		e.inflight[level] = ch
+		sh.mu.Unlock()
 
-	r.lockShard(sh)
-	if level > e.level {
-		e.level = level
-		e.safe = res.safe
-		e.repair = res.repair
-		e.fitness = res.fitness
+		res, complete := compute()
+		if complete {
+			r.evals.Add(1)
+		}
+
+		r.lockShard(sh)
+		if complete && level > e.level {
+			e.level = level
+			e.safe = res.safe
+			e.repair = res.repair
+			e.fitness = res.fitness
+		}
+		e.inflight[level] = nil
+		sh.mu.Unlock()
+		close(ch)
+		return res
 	}
-	e.inflight[level] = nil
-	sh.mu.Unlock()
-	close(ch)
-	return res
 }
 
 // programKey hashes the program's canonical text — two mutants that
@@ -294,10 +315,15 @@ func programKey(p *lang.Program) uint64 {
 // Eval evaluates the program on the full suite, counting one fitness
 // evaluation (cache hits are free, mirroring the paper's observation that
 // duplicate mutants add avoidable cost when not deduplicated).
-func (r *Runner) Eval(p *lang.Program) Fitness {
-	res := r.evalAt(programKey(p), levelFitness, func() probeResult {
-		f := r.evalUncached(p)
-		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}
+//
+// Cancelling the context stops the evaluation between test cases; the
+// partial fitness observed so far is returned but neither cached nor
+// counted, so a later call with a live context re-evaluates the program
+// from scratch.
+func (r *Runner) Eval(ctx context.Context, p *lang.Program) Fitness {
+	res := r.evalAt(programKey(p), levelFitness, func() (probeResult, bool) {
+		f, complete := r.evalUncached(ctx, p)
+		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}, complete
 	})
 	return res.fitness
 }
@@ -305,24 +331,32 @@ func (r *Runner) Eval(p *lang.Program) Fitness {
 // EvalNoCache evaluates the program without consulting or populating the
 // cache (used by ablations quantifying the cache's value).
 func (r *Runner) EvalNoCache(p *lang.Program) Fitness {
-	f := r.evalUncached(p)
+	f, _ := r.evalUncached(context.Background(), p)
 	r.evals.Add(1)
 	return f
 }
 
-func (r *Runner) evalUncached(p *lang.Program) Fitness {
+// evalUncached runs the full suite, checking the context between test
+// cases; it reports whether the evaluation ran to completion.
+func (r *Runner) evalUncached(ctx context.Context, p *lang.Program) (Fitness, bool) {
 	f := Fitness{PosTotal: len(r.suite.Positive), NegTotal: len(r.suite.Negative)}
 	for _, tc := range r.suite.Positive {
+		if ctx.Err() != nil {
+			return f, false
+		}
 		if RunTest(p, tc) {
 			f.PosPassed++
 		}
 	}
 	for _, tc := range r.suite.Negative {
+		if ctx.Err() != nil {
+			return f, false
+		}
 		if RunTest(p, tc) {
 			f.NegPassed++
 		}
 	}
-	return f
+	return f, true
 }
 
 // Safe reports whether the program passes every positive test, stopping
@@ -331,7 +365,7 @@ func (r *Runner) evalUncached(p *lang.Program) Fitness {
 // short-circuited check counts as one fitness evaluation (the test suite
 // was run, just not to completion).
 func (r *Runner) Safe(p *lang.Program) bool {
-	res := r.evalAt(programKey(p), levelSafe, func() probeResult {
+	res := r.evalAt(programKey(p), levelSafe, func() (probeResult, bool) {
 		safe := true
 		for _, tc := range r.suite.Positive {
 			if !RunTest(p, tc) {
@@ -339,7 +373,7 @@ func (r *Runner) Safe(p *lang.Program) bool {
 				break
 			}
 		}
-		return probeResult{safe: safe}
+		return probeResult{safe: safe}, true
 	})
 	return res.safe
 }
@@ -394,7 +428,7 @@ func (r *Runner) ResetCounters() {
 // fitness (a cached Fitness answers Outcome directly) and a
 // short-circuited check counts as one fitness evaluation.
 func (r *Runner) Outcome(p *lang.Program) (safe, repair bool) {
-	res := r.evalAt(programKey(p), levelOutcome, func() probeResult {
+	res := r.evalAt(programKey(p), levelOutcome, func() (probeResult, bool) {
 		safe := true
 		for _, tc := range r.suite.Positive {
 			if !RunTest(p, tc) {
@@ -411,7 +445,7 @@ func (r *Runner) Outcome(p *lang.Program) (safe, repair bool) {
 				}
 			}
 		}
-		return probeResult{safe: safe, repair: repair}
+		return probeResult{safe: safe, repair: repair}, true
 	})
 	return res.safe, res.repair
 }
@@ -425,11 +459,11 @@ func (r *Runner) Outcome(p *lang.Program) (safe, repair bool) {
 // Eval and share its cache and counters.
 func (r *Runner) EvalParallel(p *lang.Program, workers int) Fitness {
 	if workers <= 1 || r.suite.Size() <= 1 {
-		return r.Eval(p)
+		return r.Eval(context.Background(), p)
 	}
-	res := r.evalAt(programKey(p), levelFitness, func() probeResult {
+	res := r.evalAt(programKey(p), levelFitness, func() (probeResult, bool) {
 		f := r.evalParallelUncached(p, workers)
-		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}
+		return probeResult{safe: f.Safe(), repair: f.Repair(), fitness: f}, true
 	})
 	return res.fitness
 }

@@ -1,6 +1,8 @@
 package testsuite
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -69,7 +71,7 @@ func TestFitnessOnCorrectAndBuggy(t *testing.T) {
 	s := sumSuite()
 	r := NewRunner(s)
 
-	good := r.Eval(lang.MustParse(sumSrc))
+	good := r.Eval(context.Background(), lang.MustParse(sumSrc))
 	if !good.Repair() || !good.Safe() {
 		t.Fatalf("correct program fitness = %v", good)
 	}
@@ -77,7 +79,7 @@ func TestFitnessOnCorrectAndBuggy(t *testing.T) {
 		t.Fatalf("passed = %d", good.Passed())
 	}
 
-	bad := r.Eval(lang.MustParse(buggySumSrc))
+	bad := r.Eval(context.Background(), lang.MustParse(buggySumSrc))
 	// Buggy variant: sums 1..n-1. n=0 -> 0 ok; n=1 -> 0 (want 1, fail);
 	// n=5 -> 10 (want 15, fail); n=10 -> 45 (want 55, fail).
 	if bad.Repair() || bad.Safe() {
@@ -98,8 +100,8 @@ func TestWeightedFitness(t *testing.T) {
 func TestRunnerCacheDeduplicates(t *testing.T) {
 	r := NewRunner(sumSuite())
 	p := lang.MustParse(sumSrc)
-	r.Eval(p)
-	r.Eval(p.Clone()) // structurally identical program
+	r.Eval(context.Background(), p)
+	r.Eval(context.Background(), p.Clone()) // structurally identical program
 	if r.Evals() != 1 {
 		t.Fatalf("evals = %d, want 1 (second was a cache hit)", r.Evals())
 	}
@@ -110,8 +112,8 @@ func TestRunnerCacheDeduplicates(t *testing.T) {
 
 func TestRunnerCacheDistinguishesPrograms(t *testing.T) {
 	r := NewRunner(sumSuite())
-	r.Eval(lang.MustParse(sumSrc))
-	r.Eval(lang.MustParse(buggySumSrc))
+	r.Eval(context.Background(), lang.MustParse(sumSrc))
+	r.Eval(context.Background(), lang.MustParse(buggySumSrc))
 	if r.Evals() != 2 {
 		t.Fatalf("evals = %d, want 2", r.Evals())
 	}
@@ -129,7 +131,7 @@ func TestEvalNoCacheAlwaysExecutes(t *testing.T) {
 
 func TestResetCounters(t *testing.T) {
 	r := NewRunner(sumSuite())
-	r.Eval(lang.MustParse(sumSrc))
+	r.Eval(context.Background(), lang.MustParse(sumSrc))
 	r.ResetCounters()
 	if r.Evals() != 0 || r.CacheHits() != 0 {
 		t.Fatal("counters not reset")
@@ -144,7 +146,7 @@ func TestRunnerConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				f := r.Eval(lang.MustParse(sumSrc))
+				f := r.Eval(context.Background(), lang.MustParse(sumSrc))
 				if !f.Repair() {
 					t.Error("wrong fitness under concurrency")
 					return
@@ -246,7 +248,7 @@ func TestRunnerSafeShortCircuit(t *testing.T) {
 func TestRunnerSafeReusesFitnessCache(t *testing.T) {
 	r := NewRunner(sumSuite())
 	p := lang.MustParse(sumSrc)
-	r.Eval(p)
+	r.Eval(context.Background(), p)
 	if !r.Safe(p) {
 		t.Fatal("Safe disagrees with Eval")
 	}
@@ -260,7 +262,7 @@ func TestEvalParallelMatchesSequential(t *testing.T) {
 	rPar := NewRunner(sumSuite())
 	for _, src := range []string{sumSrc, buggySumSrc} {
 		p := lang.MustParse(src)
-		seq := rSeq.Eval(p)
+		seq := rSeq.Eval(context.Background(), p)
 		par := rPar.EvalParallel(p, 4)
 		if seq != par {
 			t.Fatalf("parallel fitness %v != sequential %v", par, seq)
@@ -303,7 +305,7 @@ func TestOutcomeMatchesEval(t *testing.T) {
 	rB := NewRunner(sumSuite())
 	for _, src := range []string{sumSrc, buggySumSrc} {
 		p := lang.MustParse(src)
-		f := rA.Eval(p)
+		f := rA.Eval(context.Background(), p)
 		safe, repair := rB.Outcome(p)
 		if safe != f.Safe() || repair != f.Repair() {
 			t.Fatalf("outcome (%v,%v) disagrees with fitness %v", safe, repair, f)
@@ -321,7 +323,7 @@ func TestOutcomeCachesAndCounts(t *testing.T) {
 	}
 	// A prior full Eval answers Outcome without re-running.
 	r2 := NewRunner(sumSuite())
-	r2.Eval(p)
+	r2.Eval(context.Background(), p)
 	r2.Outcome(p)
 	if r2.Evals() != 1 || r2.CacheHits() != 1 {
 		t.Fatalf("evals=%d hits=%d", r2.Evals(), r2.CacheHits())
