@@ -1,15 +1,20 @@
 # Tier-1 verification plus the race detector and probe-path benchmarks.
 #
-#   make ci          vet + build + race-enabled tests + bench smoke + chaos smoke (the full gate)
+#   make ci          vet + build + race-enabled tests + bench smoke + chaos smoke + trace smoke (the full gate)
 #   make test        plain tier-1 tests (ROADMAP.md's definition)
 #   make race        go test -race ./...
 #   make chaos       fault-injection smoke under -race + E11 JSON schema check
-#   make bench       sampling benchmarks at fixed -benchtime -> BENCH_PR2.json
+#   make trace       mwrepair -trace smoke + JSONL schema check
+#   make bench       sampling + tracing-overhead benchmarks at fixed -benchtime -> $(BENCH_OUT)
 #   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
 #   make bench-all   every benchmark once (smoke)
 
 GO ?= go
+
+# Where `make bench` writes its JSON records. Override per PR so benchmark
+# history accumulates instead of overwriting: make bench BENCH_OUT=BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR5.json
 
 # The perf-trajectory benchmarks frozen into BENCH_PR2.json: the
 # BenchmarkSample primitive comparison (naive scan vs Fenwick vs batched),
@@ -17,9 +22,9 @@ GO ?= go
 # PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
 SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-.PHONY: ci vet build test race chaos bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos trace bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke chaos
+ci: vet build race bench-smoke chaos trace
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +46,15 @@ chaos:
 	$(GO) run ./cmd/experiments -resilience -seeds 1 -maxiter 60 -faultrates 0,0.1 -datasets random64 -json /tmp/e11-smoke.json >/dev/null
 	$(GO) run ./cmd/benchjson -validate-resilience /tmp/e11-smoke.json
 
+# Trace smoke: one end-to-end mwrepair run with fault injection and the
+# JSONL event stream on, then a schema check of the emitted trace (known
+# event types, dense sequence numbers). Guards the obs wiring the same way
+# chaos guards the E11 export.
+trace:
+	$(GO) run ./cmd/mwrepair -scenario lighttpd-1806-1807 -maxiter 500 -workers 4 -seed 3 \
+		-faultrate 0.05 -managed -trace /tmp/trace-smoke.jsonl -trace-sample 5 >/dev/null
+	$(GO) run ./cmd/benchjson -validate-trace /tmp/trace-smoke.jsonl
+
 # The probe-evaluation hot path: sharded cache-hit throughput vs the
 # single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,
 # and phase-1 pool precompute scaling. -benchtime 1x keeps it a smoke
@@ -48,12 +62,13 @@ chaos:
 bench-probe:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache|BenchmarkPoolPrecompute' -benchtime 1x .
 
-# Fixed -benchtime so BENCH_PR2.json is comparable across commits; benchjson
+# Fixed -benchtime so $(BENCH_OUT) is comparable across commits; benchjson
 # echoes the raw go test output to stderr and writes {name, ns/op, allocs/op}
-# records for each result.
+# records for each result. BenchmarkRun$ (anchored — BenchmarkRunner* are
+# separate probe-path benchmarks) is the tracing-overhead trio.
 bench:
-	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)' -benchmem -benchtime 1s . ./internal/wrs \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)|BenchmarkRun$$' -benchmem -benchtime 1s . ./internal/wrs \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)' -benchmem -benchtime 100x . ./internal/wrs

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	bandit -dataset random256 -algorithm distributed [-maxiter 10000]
-//	       [-seed 1] [-trace 50]
+//	       [-seed 1] [-print-every 50] [-trace run.jsonl] [-trace-sample 10]
+//
+// -print-every writes human-readable progress lines to stdout;
+// -trace records the machine-readable JSONL event stream (internal/obs
+// schema). The former was historically called -trace, renamed to free
+// the flag for the event stream shared by every binary.
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"os"
 
 	"repro/internal/bandit"
+	"repro/internal/cliutil"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/mwu"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -29,13 +36,20 @@ func main() {
 		alg     = flag.String("algorithm", "standard", "standard | distributed | slate")
 		maxIter = flag.Int("maxiter", 10000, "iteration limit")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		trace   = flag.Int("trace", 0, "print a trace line every N iterations (0 = off)")
+		printEvery = flag.Int("print-every", 0, "print a progress line every N iterations (0 = off)")
 
 		faultRate = flag.Float64("faultrate", 0, "inject probe faults at this base rate (0 = off)")
 		managed   = flag.Bool("managed", false, "arm default timeout/retry/hedge policies against injected faults")
 		cutoff    = flag.Int("cutoff", 0, "straggler cutoff in virtual ticks (0 = wait stragglers out)")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
+
+	cliutil.Rate01("bandit", "faultrate", *faultRate)
+	cliutil.NonNegative("bandit", "cutoff", *cutoff)
+	cliutil.NonNegative("bandit", "maxiter", *maxIter)
+	cliutil.NonNegative("bandit", "print-every", *printEvery)
+	obsFlags.Validate("bandit")
 
 	if *list {
 		for _, n := range dataset.Names() {
@@ -59,15 +73,18 @@ func main() {
 		*alg, ds.Name, ds.Size, ds.Dist.Best(), ds.Dist.BestValue())
 	fmt.Printf("agents per iteration: %d\n", learner.Agents())
 
-	cfg := mwu.RunConfig{MaxIter: *maxIter, Workers: 1, StragglerCutoff: *cutoff}
+	tracer, reg, obsCleanup := obsFlags.Setup("bandit", obs.RunID(*seed, "bandit", ds.Name, *alg))
+	defer obsCleanup()
+
+	cfg := mwu.RunConfig{MaxIter: *maxIter, Workers: 1, StragglerCutoff: *cutoff, Trace: tracer}
 	if *faultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
 	}
 	if *managed {
 		cfg.Policies = faults.DefaultPolicies()
 	}
-	if *trace > 0 {
-		every := *trace
+	if *printEvery > 0 {
+		every := *printEvery
 		cfg.OnIteration = func(iter int, l mwu.Learner) bool {
 			if iter%every == 0 {
 				fmt.Printf("  t=%-6d leader=%-6d leaderProb=%.4f congestion(max)=%d\n",
@@ -77,6 +94,7 @@ func main() {
 		}
 	}
 	res := mwu.Run(context.Background(), learner, problem, r.Split(), cfg)
+	learner.Metrics().Export(reg, "mwu")
 
 	fmt.Printf("converged: %v after %d update cycles\n", res.Converged, res.Iterations)
 	fmt.Printf("choice: arm %d (value %.4f, accuracy %.2f%%)\n",

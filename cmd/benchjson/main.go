@@ -13,6 +13,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 type record struct {
@@ -96,13 +98,38 @@ func validateResilience(path string) error {
 	return nil
 }
 
+// validateTrace schema-checks a -trace JSONL event stream against the
+// internal/obs contract (known event types, dense sequence numbers,
+// non-negative coordinates) — the `make trace` smoke's validator.
+func validateTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := obs.ValidateJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d trace events, schema ok\n", path, n)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	resilienceFile := flag.String("validate-resilience", "", "validate an `experiments -resilience -json` export instead of converting benchmarks")
+	traceFile := flag.String("validate-trace", "", "validate a -trace JSONL event stream instead of converting benchmarks")
 	flag.Parse()
 
 	if *resilienceFile != "" {
 		if err := validateResilience(*resilienceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceFile != "" {
+		if err := validateTrace(*traceFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

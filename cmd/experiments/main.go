@@ -27,7 +27,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // writeFile creates path and applies write, exiting on failure.
@@ -68,12 +70,24 @@ func main() {
 		resilience = flag.Bool("resilience", false, "run E11: convergence under injected faults (raw vs managed policies)")
 		faultRates = flag.String("faultrates", "", "comma-separated fault rates for -resilience (default 0,0.02,0.05,0.1,0.2)")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
+
+	cliutil.Positive("experiments", "seeds", *seeds)
+	cliutil.Positive("experiments", "maxiter", *maxIter)
+	cliutil.Positive("experiments", "trials", *trials)
+	obsFlags.Validate("experiments")
 
 	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0 || *resilience) {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// -trace covers the E11 resilience cells (the one experiment that runs
+	// its replications sequentially, so the combined stream stays
+	// deterministic); -debug-addr covers any long run.
+	tracer, _, obsCleanup := obsFlags.Setup("experiments", obs.RunID(0xE5, "experiments"))
+	defer obsCleanup()
 
 	split := func(s string) []string {
 		if s == "" {
@@ -128,6 +142,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.RenderAPR(sum))
+		if *jsonOut != "" && !*tables && !*all {
+			writeFile(*jsonOut, func(f *os.File) error { return experiments.WriteAPRJSON(f, sum) })
+		}
 	}
 	if *sweep != "" {
 		spec := experiments.SweepSpec{Param: experiments.SweepParam(*sweep), Seeds: *seeds}
@@ -153,6 +170,7 @@ func main() {
 		spec := experiments.ResilienceSpec{
 			Seeds:   *seeds,
 			MaxIter: *maxIter,
+			Trace:   tracer,
 		}
 		if *datasets != "" {
 			spec.Dataset = strings.Split(*datasets, ",")[0]
@@ -160,9 +178,9 @@ func main() {
 		if *faultRates != "" {
 			for _, tok := range strings.Split(*faultRates, ",") {
 				r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "experiments: bad -faultrates:", err)
-					os.Exit(1)
+				if err != nil || !(r >= 0 && r <= 1) {
+					fmt.Fprintln(os.Stderr, "experiments: -faultrates values must be in [0,1], got", tok)
+					os.Exit(2)
 				}
 				spec.FaultRates = append(spec.FaultRates, r)
 			}

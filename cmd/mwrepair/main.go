@@ -9,8 +9,11 @@
 //	mwrepair -scenario gzip-2009-09-26 [-algorithm standard]
 //	         [-maxiter 2000] [-workers 8] [-seed 1]
 //	         [-savepool pool.json] [-loadpool pool.json] [-v]
+//	         [-trace run.jsonl] [-trace-sample 10] [-debug-addr localhost:6060]
 //
-// Scenarios are the named registry entries (see -list).
+// Scenarios are the named registry entries (see -list). -trace records
+// the iteration-level event stream (internal/obs JSONL schema); the
+// stream is seed-deterministic, byte-identical at any -workers count.
 package main
 
 import (
@@ -21,9 +24,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -46,7 +51,15 @@ func main() {
 		cutoff    = flag.Int("cutoff", 0, "straggler cutoff in virtual ticks (0 = wait stragglers out)")
 		timeout   = flag.Duration("timeout", 0, "cancel the repair after this wall-clock budget (0 = none)")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
+
+	cliutil.Rate01("mwrepair", "faultrate", *faultRate)
+	cliutil.NonNegative("mwrepair", "cutoff", *cutoff)
+	cliutil.NonNegative("mwrepair", "maxiter", *maxIter)
+	cliutil.Positive("mwrepair", "workers", *workers)
+	cliutil.NonNegativeDuration("mwrepair", "timeout", *timeout)
+	obsFlags.Validate("mwrepair")
 
 	if *list {
 		for _, p := range scenario.Registry {
@@ -69,6 +82,9 @@ func main() {
 		fmt.Println("-------------------------")
 	}
 
+	tracer, reg, obsCleanup := obsFlags.Setup("mwrepair", obs.RunID(*seed, "mwrepair", prof.Name, *alg))
+	defer obsCleanup()
+
 	r := rng.New(*seed)
 	var pl *pool.Pool
 	if *loadPool != "" {
@@ -84,8 +100,9 @@ func main() {
 		fmt.Printf("phase 1: loaded pool of %d safe mutations from %s\n", pl.Size(), *loadPool)
 	} else {
 		t0 := time.Now()
-		pl = sc.BuildPool(*workers, r.Split())
+		pl = sc.BuildPoolTraced(*workers, r.Split(), tracer)
 		st := pl.Stats()
+		st.Export(reg, "pool")
 		fmt.Printf("phase 1: precomputed %d safe mutations in %v (%d candidates evaluated, %.0f%% safe)\n",
 			pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate())
 	}
@@ -106,6 +123,8 @@ func main() {
 		Workers:         *workers,
 		MaxX:            prof.Options,
 		StragglerCutoff: *cutoff,
+		Trace:           tracer,
+		Registry:        reg,
 	}
 	if *faultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
@@ -139,6 +158,7 @@ func main() {
 			state, res.Iterations, res.Probes, res.FitnessEvals, elapsed)
 		fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
 			res.CacheHits, res.DedupSuppressed, res.ShardContention)
+		obsCleanup() // os.Exit skips defers; flush the trace first
 		os.Exit(1)
 	}
 	fmt.Printf("phase 2 (%s MWU): REPAIRED in %d iterations × %d agents (%d probes, %d fitness evals, %v)\n",

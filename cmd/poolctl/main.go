@@ -20,7 +20,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -39,7 +41,15 @@ func main() {
 		workers    = flag.Int("workers", 8, "parallel evaluation workers")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
+	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
+
+	cliutil.Positive("poolctl", "workers", *workers)
+	cliutil.NonNegative("poolctl", "target", *target)
+	obsFlags.Validate("poolctl")
+
+	tracer, reg, obsCleanup := obsFlags.Setup("poolctl", obs.RunID(*seed, "poolctl", *scenarioFl))
+	defer obsCleanup()
 
 	switch {
 	case *build:
@@ -50,8 +60,9 @@ func main() {
 		}
 		sc := scenario.Generate(prof)
 		t0 := time.Now()
-		pl := sc.BuildPool(*workers, rng.New(*seed))
+		pl := sc.BuildPoolTraced(*workers, rng.New(*seed), tracer)
 		st := pl.Stats()
+		st.Export(reg, "pool")
 		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe, %d cache hits, %d dedup-suppressed)\n",
 			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate(),
 			st.CacheHits, st.DedupSuppressed)

@@ -38,11 +38,19 @@ func AE(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	})
 
 	n := pr.Program.Len()
+	best := 0.0
 	try := func(m mutation.Mutation) bool {
 		res.CandidatesTried++
-		if _, repaired := pr.evaluate([]mutation.Mutation{m}); repaired {
+		f, repaired := pr.evaluate([]mutation.Mutation{m})
+		if repaired {
 			res.Repaired = true
 			res.Patch = []mutation.Mutation{m}
+		}
+		if w := f.Weighted(cfg.NegWeight); w > best {
+			best = w
+		}
+		if pr.trace.Sampled(int(res.CandidatesTried)) {
+			pr.traceGeneration(int(res.CandidatesTried), "ae", best)
 		}
 		return res.Repaired
 	}

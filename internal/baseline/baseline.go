@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/testsuite"
 	"repro/internal/wrs"
@@ -77,6 +78,11 @@ type Config struct {
 	// Retry re-issues faulted candidate evaluations; the zero value
 	// retries nothing.
 	Retry faults.Retry
+	// Trace, when active, receives generation events marking the search's
+	// milestones: one per GA generation for GenProg, one per sampled
+	// candidate window for RSRepair and AE. The searches are serial, so
+	// the stream is trivially deterministic.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -118,6 +124,7 @@ type Problem struct {
 	seq      int
 	fstats   faults.Stats
 	degraded bool
+	trace    *obs.Tracer
 }
 
 // NewProblem builds the shared search state, including GenProg-style fault
@@ -197,6 +204,17 @@ func (pr *Problem) configureFaults(cfg Config) {
 	pr.seq = 0
 	pr.fstats = faults.Stats{}
 	pr.degraded = false
+	pr.trace = cfg.Trace
+}
+
+// traceGeneration emits one search-milestone event: iter is the
+// generation (GenProg) or candidate index (RSRepair, AE), best the best
+// weighted fitness seen so far.
+func (pr *Problem) traceGeneration(iter int, algo string, best float64) {
+	if pr.trace.Active() {
+		pr.trace.Emit(obs.Event{Type: obs.TypeGeneration, Iter: iter, Kind: algo,
+			N: pr.runner.Evals(), Value: best})
+	}
 }
 
 // evaluate scores a patch, returning its fitness and whether it repairs.

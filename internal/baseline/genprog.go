@@ -59,6 +59,13 @@ func GenProg(pr *Problem, seed *rng.RNG, cfg Config) Result {
 				break
 			}
 		}
+		best := 0.0
+		for i := range pop {
+			if pop[i].fitness > best {
+				best = pop[i].fitness
+			}
+		}
+		pr.traceGeneration(res.Generations, "genprog", best)
 		if res.Repaired || !evalBudgetLeft() {
 			break
 		}

@@ -15,6 +15,7 @@ func RSRepair(pr *Problem, seed *rng.RNG, cfg Config) Result {
 	cfg.fill()
 	pr.configureFaults(cfg)
 	res := Result{Algorithm: "RSRepair"}
+	best := 0.0
 	for pr.runner.Evals() < cfg.MaxEvals {
 		// 1 or 2 edits per candidate, matching the tool's shallow search.
 		n := 1 + seed.Intn(2)
@@ -23,10 +24,17 @@ func RSRepair(pr *Problem, seed *rng.RNG, cfg Config) Result {
 			patch[i] = pr.randomMutation(seed)
 		}
 		res.CandidatesTried++
-		if _, repaired := pr.evaluate(patch); repaired {
+		f, repaired := pr.evaluate(patch)
+		if repaired {
 			res.Repaired = true
 			res.Patch = patch
 			break
+		}
+		if w := f.Weighted(cfg.NegWeight); w > best {
+			best = w
+		}
+		if pr.trace.Sampled(int(res.CandidatesTried)) {
+			pr.traceGeneration(int(res.CandidatesTried), "rsrepair", best)
 		}
 	}
 	res.FitnessEvals = pr.runner.Evals()

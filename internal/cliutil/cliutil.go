@@ -1,0 +1,127 @@
+// Package cliutil centralizes what every cmd/* binary otherwise
+// reimplements slightly differently: flag-value validation with a
+// consistent one-line failure mode, and the observability flag triple
+// (-trace, -trace-sample, -debug-addr) that wires a command into
+// internal/obs.
+//
+// Validation failures exit with status 2 — the same code flag.Parse uses
+// for unparseable flags — so "value out of range" and "flag unknown" are
+// indistinguishable to callers scripting the binaries, and neither is
+// confusable with a run that started and failed (status 1).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Fatalf prints a one-line "<cmd>: message" to stderr and exits 2.
+func Fatalf(cmd, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, cmd+": "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// Rate01 rejects a probability flag outside [0, 1]. NaN fails both
+// comparisons' complements, so it is rejected too.
+func Rate01(cmd, name string, v float64) {
+	if !(v >= 0 && v <= 1) {
+		Fatalf(cmd, "-%s must be in [0,1], got %v", name, v)
+	}
+}
+
+// NonNegative rejects a negative int flag (0 conventionally means
+// "disabled" for cutoffs and limits, so it stays legal).
+func NonNegative(cmd, name string, v int) {
+	if v < 0 {
+		Fatalf(cmd, "-%s must be >= 0, got %d", name, v)
+	}
+}
+
+// NonNegativeDuration rejects a negative duration flag.
+func NonNegativeDuration(cmd, name string, v time.Duration) {
+	if v < 0 {
+		Fatalf(cmd, "-%s must be >= 0, got %v", name, v)
+	}
+}
+
+// Positive rejects an int flag below 1.
+func Positive(cmd, name string, v int) {
+	if v < 1 {
+		Fatalf(cmd, "-%s must be >= 1, got %d", name, v)
+	}
+}
+
+// ObsFlags holds the shared observability flag values.
+type ObsFlags struct {
+	// TracePath is -trace: the JSONL event-stream output file.
+	TracePath string
+	// TraceSample is -trace-sample: detail events (probe outcomes,
+	// learner state) are emitted every N iterations.
+	TraceSample int
+	// DebugAddr is -debug-addr: when set, an HTTP server with
+	// net/http/pprof, expvar and the metrics registry snapshot runs there
+	// for the life of the process.
+	DebugAddr string
+}
+
+// RegisterObsFlags registers -trace, -trace-sample and -debug-addr on the
+// default FlagSet. Call before flag.Parse.
+func RegisterObsFlags() *ObsFlags {
+	f := &ObsFlags{}
+	flag.StringVar(&f.TracePath, "trace", "", "write iteration-level JSONL trace events to this file")
+	flag.IntVar(&f.TraceSample, "trace-sample", 1, "emit trace detail events (probes, learner state) every N iterations")
+	flag.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof + /debug/metrics on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Validate enforces the observability flags' value ranges; call after
+// flag.Parse and before Setup.
+func (f *ObsFlags) Validate(cmd string) {
+	Positive(cmd, "trace-sample", f.TraceSample)
+}
+
+// Setup opens the trace sink and starts the debug server per the parsed
+// flags. It returns a tracer (nil when -trace is unset — nil tracers are
+// valid everywhere downstream), the registry backing /debug/metrics, and
+// a cleanup that flushes the trace file and stops the server; callers
+// must run cleanup before reading the trace file. Failures to open the
+// file or bind the address are fatal (exit 1): the user explicitly asked
+// for observability, so silently proceeding without it would be worse
+// than stopping.
+func (f *ObsFlags) Setup(cmd, run string) (*obs.Tracer, *obs.Registry, func()) {
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	var closers []func()
+
+	if f.TracePath != "" {
+		file, err := os.Create(f.TracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -trace: %v\n", cmd, err)
+			os.Exit(1)
+		}
+		tracer = obs.New(obs.NewJSONL(file), obs.WithRun(run), obs.WithSample(f.TraceSample))
+		closers = append(closers, func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: closing trace: %v\n", cmd, err)
+			}
+		})
+	}
+	if f.DebugAddr != "" {
+		addr, stop, err := obs.StartDebugServer(f.DebugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -debug-addr: %v\n", cmd, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/ (metrics at /debug/metrics)\n", cmd, addr)
+		closers = append(closers, func() { stop() })
+	}
+	return tracer, reg, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}

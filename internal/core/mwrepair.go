@@ -30,6 +30,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/mutation"
 	"repro/internal/mwu"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/testsuite"
@@ -82,6 +83,17 @@ type Config struct {
 	// StragglerCutoff (virtual ticks) drops straggler rewards later than
 	// the cutoff as missing; 0 waits stragglers out.
 	StragglerCutoff int
+	// Trace, when active, receives the online loop's iteration-level
+	// event stream (threaded through to mwu.Run), plus cache events
+	// sampling the fitness cache's cumulative hit total on sampled
+	// iterations. Cumulative cache-hit totals are worker-count invariant —
+	// unlike dedup/contention, which stay Registry-only — so the stream
+	// remains byte-identical at any Workers count.
+	Trace *obs.Tracer
+	// Registry, when non-nil, receives the final learner metrics (under
+	// "mwu.") when the repair returns — the snapshot a -debug-addr
+	// /debug/metrics endpoint serves.
+	Registry *obs.Registry
 }
 
 // Result summarizes one repair attempt.
@@ -208,13 +220,22 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 	runner := testsuite.NewRunner(suite)
 	oracle := &repairOracle{pl: pl, runner: runner, k: k, policy: cfg.Reward, scale: cfg.ThroughputScale}
 
+	tr := cfg.Trace
 	runRes := mwu.Run(ctx, learner, oracle, seed, mwu.RunConfig{
 		MaxIter:         cfg.MaxIter,
 		Workers:         cfg.Workers,
 		Faults:          cfg.Faults,
 		Policies:        cfg.Policies,
 		StragglerCutoff: cfg.StragglerCutoff,
+		Trace:           tr,
 		OnIteration: func(iter int, l mwu.Learner) bool {
+			if tr.Sampled(iter) {
+				// The callback runs on the driver goroutine between probe
+				// barriers; the cumulative hit count is a pure function of
+				// the probes issued so far, so the event stream stays
+				// worker-count invariant.
+				tr.Emit(obs.Event{Type: obs.TypeCache, Iter: iter, N: runner.CacheHits()})
+			}
 			patch, _ := oracle.repair()
 			return patch != nil // Fig. 6 line 8: terminate early on repair
 		},
@@ -227,6 +248,9 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 	m.CacheHits = runner.CacheHits()
 	m.DedupSuppressed = runner.DedupSuppressed()
 	m.ShardContention = runner.ShardContention()
+	if cfg.Registry != nil {
+		m.Export(cfg.Registry, "mwu")
+	}
 	res := Result{
 		Repaired:        patch != nil,
 		Patch:           patch,

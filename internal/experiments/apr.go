@@ -67,6 +67,7 @@ type APRRow struct {
 	MWFitnessEvals    int64
 	MWCacheHits       int64
 	MWDedupSuppressed int64
+	MWShardContention int64
 	MWLearnedArm      int
 	MWAgents          int
 
@@ -132,6 +133,7 @@ func RunAPR(spec APRSpec) (*APRSummary, error) {
 		row.MWFitnessEvals = mwRes.FitnessEvals
 		row.MWCacheHits = mwRes.CacheHits
 		row.MWDedupSuppressed = mwRes.DedupSuppressed
+		row.MWShardContention = mwRes.ShardContention
 		row.MWLearnedArm = mwRes.LearnedArm
 		row.MWAgents = mwRes.Agents
 

@@ -91,8 +91,9 @@ type Cell struct {
 	// Congestion aggregates the max per-iteration congestion (Table I's
 	// communication row, measured).
 	Congestion stats.Summary
-	// MemoryFloats is the per-node memory overhead (Table I, measured).
-	MemoryFloats int
+	// MemoryFloats is the per-node memory overhead (Table I, measured);
+	// int64 like the mwu.Metrics field it mirrors.
+	MemoryFloats int64
 	// Agents is the per-iteration CPU count the algorithm used.
 	Agents int
 }

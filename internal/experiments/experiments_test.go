@@ -136,10 +136,10 @@ func TestVerifyTableOne(t *testing.T) {
 	}
 	// Congestion: Standard equals its agent count; Distributed far less
 	// than its population.
-	if r.StandardCongestion != r.StandardAgents {
+	if r.StandardCongestion != int64(r.StandardAgents) {
 		t.Fatalf("standard congestion %d != agents %d", r.StandardCongestion, r.StandardAgents)
 	}
-	if r.DistributedCongestion >= r.DistributedAgents/10 {
+	if r.DistributedCongestion >= int64(r.DistributedAgents/10) {
 		t.Fatalf("distributed congestion %d not ≪ population %d", r.DistributedCongestion, r.DistributedAgents)
 	}
 	if r.CongestionBound <= 0 {

@@ -34,7 +34,7 @@ func WriteCSV(w io.Writer, cells []Cell, maxIter int) error {
 			f(c.Iterations.Mean()), f(c.Iterations.StdDev()),
 			f(c.Accuracy.Mean()), f(c.Accuracy.StdDev()),
 			f(c.CPUIterations.Mean()), f(c.CPUIterations.StdDev()),
-			f(c.Congestion.Mean()), strconv.Itoa(c.MemoryFloats), strconv.Itoa(c.Agents),
+			f(c.Congestion.Mean()), strconv.FormatInt(c.MemoryFloats, 10), strconv.Itoa(c.Agents),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -59,7 +59,7 @@ type cellJSON struct {
 	AccStd        float64 `json:"accuracyStd"`
 	CPUMean       float64 `json:"cpuIterationsMean"`
 	CongMean      float64 `json:"congestionMean"`
-	MemoryFloats  int     `json:"memoryFloats"`
+	MemoryFloats  int64   `json:"memoryFloats"`
 	Agents        int     `json:"agents"`
 }
 
@@ -84,6 +84,58 @@ func WriteJSON(w io.Writer, cells []Cell) error {
 			CongMean:      c.Congestion.Mean(),
 			MemoryFloats:  c.MemoryFloats,
 			Agents:        c.Agents,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// aprRowJSON is the stable export schema for -apr -json. The cache
+// triple (hits, dedup-suppressed, shard contention) serializes the
+// fitness-cache observability that mwu.Metrics carries — the APR
+// comparison is the one experiment where those counters are live.
+type aprRowJSON struct {
+	Scenario          string `json:"scenario"`
+	Language          string `json:"language"`
+	MWRepaired        bool   `json:"mwRepaired"`
+	MWIterations      int    `json:"mwIterations"`
+	MWFitnessEvals    int64  `json:"mwFitnessEvals"`
+	MWCacheHits       int64  `json:"mwCacheHits"`
+	MWDedupSuppressed int64  `json:"mwDedupSuppressed"`
+	MWShardContention int64  `json:"mwShardContention"`
+	MWLearnedArm      int    `json:"mwLearnedArm"`
+	MWAgents          int    `json:"mwAgents"`
+	GenProgRepaired   bool   `json:"genprogRepaired"`
+	GenProgEvals      int64  `json:"genprogEvals"`
+	RSRepairRepaired  bool   `json:"rsrepairRepaired"`
+	RSRepairEvals     int64  `json:"rsrepairEvals"`
+	AERepaired        bool   `json:"aeRepaired"`
+	AEEvals           int64  `json:"aeEvals"`
+}
+
+// WriteAPRJSON emits the Sec. IV-G comparison as a JSON array of rows.
+func WriteAPRJSON(w io.Writer, s *APRSummary) error {
+	out := make([]aprRowJSON, len(s.Rows))
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		out[i] = aprRowJSON{
+			Scenario:          r.Scenario,
+			Language:          r.Language,
+			MWRepaired:        r.MWRepaired,
+			MWIterations:      r.MWIterations,
+			MWFitnessEvals:    r.MWFitnessEvals,
+			MWCacheHits:       r.MWCacheHits,
+			MWDedupSuppressed: r.MWDedupSuppressed,
+			MWShardContention: r.MWShardContention,
+			MWLearnedArm:      r.MWLearnedArm,
+			MWAgents:          r.MWAgents,
+			GenProgRepaired:   r.GenProg.Repaired,
+			GenProgEvals:      r.GenProg.FitnessEvals,
+			RSRepairRepaired:  r.RSRepair.Repaired,
+			RSRepairEvals:     r.RSRepair.FitnessEvals,
+			AERepaired:        r.AE.Repaired,
+			AEEvals:           r.AE.FitnessEvals,
 		}
 	}
 	enc := json.NewEncoder(w)

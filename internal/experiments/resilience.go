@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/mwu"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -39,6 +40,11 @@ type ResilienceSpec struct {
 	// StragglerCutoff is the managed-mode straggler cutoff in virtual
 	// ticks. Default 400.
 	StragglerCutoff int
+	// Trace, when active, receives every replication's iteration-level
+	// event stream, each scoped to a cell/seed run label. E11 runs its
+	// cells sequentially, so the scoped streams share one sink without
+	// interleaving and the combined trace is seed-deterministic.
+	Trace *obs.Tracer
 }
 
 func (s *ResilienceSpec) fill() {
@@ -151,9 +157,10 @@ func runResilienceCell(alg, mode string, rate float64, ds *dataset.Dataset, spec
 			inj = faults.New(faults.Uniform(faultSeed, rate))
 		}
 		problem := bandit.NewProblem(ds.Dist)
+		tr := spec.Trace.Scoped(fmt.Sprintf("%s/%s/rate%g/seed%d", alg, mode, rate, s))
 
 		if alg == "distributed-mp" {
-			cfg := mwu.DistributedConfig{K: ds.Size, Faults: inj}
+			cfg := mwu.DistributedConfig{K: ds.Size, Faults: inj, Trace: tr}
 			res, err := mwu.RunMessagePassing(context.Background(), cfg, problem, seed.Split(), spec.MaxIter)
 			if err != nil {
 				return cell, fmt.Errorf("resilience: %s at rate %g: %w", alg, rate, err)
@@ -180,6 +187,7 @@ func runResilienceCell(alg, mode string, rate float64, ds *dataset.Dataset, spec
 			MaxIter: spec.MaxIter,
 			Workers: spec.Workers,
 			Faults:  inj,
+			Trace:   tr,
 		}
 		if mode == ModeManaged {
 			runCfg.Policies = faults.DefaultPolicies()

@@ -21,13 +21,14 @@ import (
 type TableOneRow struct {
 	K int
 
-	// Measured values.
-	StandardCongestion    int
-	DistributedCongestion int
-	SlateCongestion       int
-	StandardMemory        int
-	DistributedMemory     int
-	SlateMemory           int
+	// Measured values. Congestion and memory are int64, matching the
+	// mwu.Metrics fields they are read from.
+	StandardCongestion    int64
+	DistributedCongestion int64
+	SlateCongestion       int64
+	StandardMemory        int64
+	DistributedMemory     int64
+	SlateMemory           int64
 	StandardAgents        int
 	DistributedAgents     int
 	SlateAgents           int

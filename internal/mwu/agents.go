@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bandit"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -162,25 +163,43 @@ func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Orac
 	}
 	var m Metrics
 	m.MemoryFloats = 1
+	tr := cfg.Trace
+	if tr.Active() {
+		tr.Emit(obs.Event{Type: obs.TypeRunStart, Algo: "distributed-mp",
+			K: cfg.K, Agents: n, N: int64(maxIter)})
+	}
 
 	res := MessagePassingResult{}
 	converged := false
+	dead := false
 	for t := 1; t <= maxIter && !converged; t++ {
 		if ctx.Err() != nil {
 			res.Cancelled = true
 			break
 		}
+		if tr.Active() {
+			tr.Emit(obs.Event{Type: obs.TypeIterStart, Iter: t})
+		}
 
 		// Lifecycle: restarts first (an agent that served its downtime
 		// rejoins with fresh O(1) state), then this iteration's crashes.
+		// Restart candidates are scanned in agent-ID order, NOT by ranging
+		// over the downSince map: map order would let two agents restarting
+		// on the same iteration rejoin `alive` in either order, changing
+		// the peer set every observer samples from — a seed would no longer
+		// pin the dynamics (or the trace).
 		if inj.Enabled() {
-			if cfg.Faults.Config().RestartAfter > 0 {
-				for a, since := range downSince {
-					if t-since >= cfg.Faults.Config().RestartAfter {
+			if cfg.Faults.Config().RestartAfter > 0 && len(downSince) > 0 {
+				for _, a := range agents {
+					since, down := downSince[a]
+					if down && t-since >= cfg.Faults.Config().RestartAfter {
 						a.cmd <- mpCmd{op: cmdRestart, iter: t}
 						delete(downSince, a)
 						alive = append(alive, a)
 						stats.Restarts++
+						if tr.Active() {
+							tr.Emit(obs.Event{Type: obs.TypeRestart, Iter: t, Slot: a.id})
+						}
 					}
 				}
 			}
@@ -189,6 +208,9 @@ func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Orac
 				if inj.AgentCrash(a.id, t) {
 					downSince[a] = t
 					stats.Crashes++
+					if tr.Active() {
+						tr.Emit(obs.Event{Type: obs.TypeCrash, Iter: t, Slot: a.id})
+					}
 					continue
 				}
 				kept = append(kept, a)
@@ -196,6 +218,7 @@ func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Orac
 			alive = kept
 			if len(alive) == 0 {
 				// Total population loss: nothing left to run the protocol.
+				dead = true
 				break
 			}
 		}
@@ -238,6 +261,22 @@ func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Orac
 			converged = true
 			res.Converged = true
 		}
+		if tr.Active() {
+			tr.Emit(obs.Event{Type: obs.TypeUpdate, Iter: t, N: int64(live), Value: float64(messages)})
+			e := obs.Event{Type: obs.TypeConv, Iter: t, Leader: lead,
+				Prob: float64(counts[lead]) / float64(live)}
+			if converged {
+				e.Kind = "converged"
+			}
+			tr.Emit(e)
+			if tr.Sampled(t) {
+				tr.Emit(obs.Event{Type: obs.TypeState, Iter: t, Leader: lead,
+					Prob:    float64(counts[lead]) / float64(live),
+					Entropy: obs.EntropyInts(counts), Support: obs.SupportInts(counts),
+					Hist: obs.ShareHistInts(counts), N: int64(live)})
+			}
+			tr.Emit(obs.Event{Type: obs.TypeIterEnd, Iter: t})
+		}
 	}
 	// Every agent — alive, crashed, or mid-restart-wait — still listens on
 	// its command channel and must be stopped.
@@ -256,6 +295,14 @@ func RunMessagePassing(ctx context.Context, cfg DistributedConfig, o bandit.Orac
 	m.Faults = stats
 	res.Degraded = res.Cancelled || stats.Crashes > 0 || stats.MsgDropped > 0
 	res.Metrics = m
+	if tr.Active() {
+		kind := runEndKind(res.RunResult)
+		if dead {
+			kind = "dead"
+		}
+		tr.Emit(obs.Event{Type: obs.TypeRunEnd, Iter: res.Iterations,
+			Kind: kind, Leader: res.Choice, Prob: res.LeaderProb})
+	}
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -46,6 +47,14 @@ type DistributedConfig struct {
 	// (RunMessagePassing). The synchronous engine ignores it — probe-level
 	// faults there are the Run driver's job.
 	Faults *faults.Injector
+	// Trace, when active, receives the message-passing protocol's event
+	// stream (RunMessagePassing): run/iteration brackets, agent
+	// crash/restart lifecycle, convergence checks, and sampled population
+	// state. Events are emitted only from the coordinator goroutine, so
+	// the stream is deterministic under a fixed seed. The synchronous
+	// engine ignores it — there the Run driver owns tracing, exactly as it
+	// owns probe-level faults.
+	Trace *obs.Tracer
 }
 
 func (c *DistributedConfig) fill() {

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/bandit"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -117,15 +118,16 @@ type Metrics struct {
 	CPUIterations int64
 	// MaxCongestion is the maximum number of messages any single node
 	// received in one iteration (Table I "communication cost").
-	MaxCongestion int
+	MaxCongestion int64
 	// SumCongestion accumulates per-iteration congestion for averaging.
 	SumCongestion int64
 	// MessagesSent counts all point-to-point messages.
 	MessagesSent int64
 	// MemoryFloats is the per-node memory overhead in float64 words
 	// (Table I "memory overhead"): k for Standard/Slate, O(1) for
-	// Distributed.
-	MemoryFloats int
+	// Distributed. int64 like its sibling counters, so exports never
+	// truncate on 32-bit builds.
+	MemoryFloats int64
 	// CacheHits, DedupSuppressed and ShardContention mirror the fitness
 	// cache's observability when the oracle is backed by a
 	// testsuite.Runner: probes answered from cache, probes suppressed by
@@ -152,10 +154,40 @@ func (m *Metrics) MeanCongestion() float64 {
 func (m *Metrics) String() string {
 	s := fmt.Sprintf("iters=%d probes=%d cpu-iters=%d congestion(max=%d mean=%.1f) mem=%d",
 		m.Iterations, m.Probes, m.CPUIterations, m.MaxCongestion, m.MeanCongestion(), m.MemoryFloats)
+	if m.CacheHits > 0 || m.DedupSuppressed > 0 || m.ShardContention > 0 {
+		s += fmt.Sprintf(" cache(hits=%d dedup=%d contention=%d)",
+			m.CacheHits, m.DedupSuppressed, m.ShardContention)
+	}
 	if m.Faults.Any() {
 		s += " " + m.Faults.String()
 	}
 	return s
+}
+
+// Export publishes the metrics into an obs.Registry under the given
+// prefix (e.g. "mwu"), unifying the learner's accounting with the other
+// subsystems' counters in one scrapeable namespace. Gauges carry the
+// point-in-time quantities, counters the cumulative ones.
+func (m *Metrics) Export(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".iterations").Set(int64(m.Iterations))
+	reg.Counter(prefix + ".probes").Set(m.Probes)
+	reg.Counter(prefix + ".cpu_iterations").Set(m.CPUIterations)
+	reg.Counter(prefix + ".messages_sent").Set(m.MessagesSent)
+	reg.Counter(prefix + ".cache_hits").Set(m.CacheHits)
+	reg.Counter(prefix + ".dedup_suppressed").Set(m.DedupSuppressed)
+	reg.Counter(prefix + ".shard_contention").Set(m.ShardContention)
+	reg.Gauge(prefix + ".max_congestion").Set(float64(m.MaxCongestion))
+	reg.Gauge(prefix + ".mean_congestion").Set(m.MeanCongestion())
+	reg.Gauge(prefix + ".memory_floats").Set(float64(m.MemoryFloats))
+	f := m.Faults
+	reg.Counter(prefix + ".faults.injected").Set(f.Injected)
+	reg.Counter(prefix + ".faults.missing").Set(f.Missing)
+	reg.Counter(prefix + ".faults.stalled_cycles").Set(f.StalledCycles)
+	reg.Counter(prefix + ".faults.retries").Set(f.Retries)
+	reg.Counter(prefix + ".faults.timeouts").Set(f.Timeouts)
 }
 
 // recordIteration folds one update cycle into the metrics.
@@ -163,8 +195,8 @@ func (m *Metrics) recordIteration(agents, congestion int, messages int64) {
 	m.Iterations++
 	m.Probes += int64(agents)
 	m.CPUIterations += int64(agents)
-	if congestion > m.MaxCongestion {
-		m.MaxCongestion = congestion
+	if c := int64(congestion); c > m.MaxCongestion {
+		m.MaxCongestion = c
 	}
 	m.SumCongestion += int64(congestion)
 	m.MessagesSent += messages
@@ -201,6 +233,13 @@ type RunConfig struct {
 	// (importance-corrected update for Slate, skipped slot for Standard).
 	// 0 waits for stragglers indefinitely.
 	StragglerCutoff int
+
+	// Trace, when active, receives the run's iteration-level event stream
+	// (see internal/obs). All events are emitted from the driver goroutine
+	// after the probe barrier, in slot order, and carry only virtual ticks
+	// and seed-derived identifiers — the stream is byte-identical at any
+	// Workers count. Nil (or a NopSink tracer) costs one branch per site.
+	Trace *obs.Tracer
 }
 
 // RunResult summarizes a completed run.
@@ -253,6 +292,8 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 	ev.inj = cfg.Faults
 	ev.pol = cfg.Policies
 	ev.cutoff = cfg.StragglerCutoff
+	tr := cfg.Trace
+	ev.trace = tr.Active()
 	defer ev.close()
 
 	auto := false
@@ -261,14 +302,31 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 	}
 	partial, hasPartial := l.(PartialUpdater)
 
+	if tr.Active() {
+		tr.Emit(obs.Event{Type: obs.TypeRunStart, Algo: l.Name(),
+			K: l.K(), Agents: l.Agents(), N: int64(cfg.MaxIter)})
+	}
 	res := RunResult{}
 	for t := 1; t <= cfg.MaxIter; t++ {
 		if ctx.Err() != nil {
 			res.Cancelled = true
 			break
 		}
+		sampled := tr.Sampled(t)
+		if tr.Active() {
+			tr.Emit(obs.Event{Type: obs.TypeIterStart, Iter: t})
+		}
 		arms := l.Sample()
+		if sampled {
+			emitProbes(tr, t, arms)
+		}
 		rewards, status := ev.probeAll(t, arms)
+		if tr.Active() {
+			// All emission happens here on the driver goroutine, after the
+			// probe barrier, in slot order — worker interleaving cannot
+			// reach the event stream.
+			emitProbeOutcomes(tr, t, arms, rewards, status, ev.recs, sampled)
+		}
 		if status == nil {
 			// Fault-free fast path: bit-identical to the historical driver.
 			l.Update(arms, rewards)
@@ -281,7 +339,14 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 			m := l.Metrics()
 			m.Probes += int64(len(arms))
 			m.CPUIterations += int64(len(arms))
+			if tr.Active() {
+				tr.Emit(obs.Event{Type: obs.TypeStall, Iter: t})
+				tr.Emit(obs.Event{Type: obs.TypeIterEnd, Iter: t})
+			}
 			continue
+		}
+		if tr.Active() {
+			emitUpdate(tr, t, rewards, status)
 		}
 		res.Iterations = t
 		// The stop callback is evaluated before the convergence check so
@@ -294,6 +359,13 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 		if l.Converged() {
 			res.Converged = true
 		}
+		if tr.Active() {
+			emitConv(tr, t, l, res.Converged)
+			if sampled {
+				emitState(tr, t, l, arms)
+			}
+			tr.Emit(obs.Event{Type: obs.TypeIterEnd, Iter: t})
+		}
 		if res.Stopped || res.Converged {
 			break
 		}
@@ -304,6 +376,10 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 	m.Faults.Merge(ev.stats)
 	res.CPUIterations = m.CPUIterations
 	res.Degraded = res.Cancelled || ev.stats.Missing > 0 || ev.stats.StalledCycles > 0
+	if tr.Active() {
+		tr.Emit(obs.Event{Type: obs.TypeRunEnd, Iter: res.Iterations,
+			Kind: runEndKind(res), Leader: res.Choice, Prob: res.LeaderProb})
+	}
 	return res
 }
 
@@ -389,6 +465,16 @@ type evaluator struct {
 	cutoff int
 	stats  faults.Stats
 
+	// trace enables per-slot fault/latency recording into recs: one
+	// slotTrace per slot, written only by the worker owning that slot and
+	// read by the driver after the wg barrier (which orders the accesses),
+	// so the records — unlike the atomically merged stats — preserve
+	// slot-attributable, deterministic detail the tracer can emit in slot
+	// order. recs is allocated per round and only when both tracing and
+	// fault injection are on; the fault-free path never touches it.
+	trace bool
+	recs  []slotTrace
+
 	// Round state shared with the persistent workers. arms, rewards and
 	// status are set before jobs are dispatched and read only between
 	// wg.Add and wg.Wait, so the channel send/receive and WaitGroup edges
@@ -458,8 +544,12 @@ func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
 	e.ensure(n)
 	rewards := make([]float64, n)
 	var status []probeStatus
+	e.recs = nil
 	if e.inj.Enabled() {
 		status = make([]probeStatus, n)
+		if e.trace {
+			e.recs = make([]slotTrace, n)
+		}
 	}
 	if e.workers == 1 || n == 1 {
 		for i, a := range arms {
@@ -513,11 +603,13 @@ func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
 	for attempt := 0; ; attempt++ {
 		switch kind := e.inj.ProbeFault(iter, slot, attempt); kind {
 		case faults.None:
+			e.recTick(slot, elapsed)
 			return e.oracle.Probe(arm, e.streams[slot]), probeOK
 
 		case faults.Straggle:
 			add(&st.Injected, 1)
 			add(&st.Stragglers, 1)
+			e.recFault(slot, attempt, kind)
 			// The probe does complete — just late. Compute the reward now
 			// (the oracle draw is part of the slot stream either way) and
 			// decide in virtual time when it lands.
@@ -537,6 +629,7 @@ func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
 					}
 				}
 			}
+			e.recTick(slot, arrival)
 			if e.cutoff > 0 && arrival > e.cutoff {
 				add(&st.LateDropped, 1)
 				add(&st.Missing, 1)
@@ -549,12 +642,14 @@ func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
 			// failed, so a retry needs no timeout.
 			add(&st.Injected, 1)
 			add(&st.Panics, 1)
+			e.recFault(slot, attempt, kind)
 			if e.pol.Retry.Enabled() && attempt < e.pol.Retry.Max {
 				add(&st.Retries, 1)
 				elapsed += e.pol.Retry.Backoff(attempt+1, e.streams[slot])
 				continue
 			}
 			add(&st.Missing, 1)
+			e.recTick(slot, elapsed)
 			return 0, probeMissing
 
 		case faults.Hang, faults.Loss:
@@ -568,7 +663,9 @@ func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
 			} else {
 				add(&st.Losses, 1)
 			}
+			e.recFault(slot, attempt, kind)
 			if !e.pol.Timeout.Enabled() {
+				e.recTick(slot, elapsed)
 				return 0, probeUnresolved
 			}
 			add(&st.Timeouts, 1)
@@ -579,6 +676,7 @@ func (e *evaluator) resolve(iter, slot, arm int) (float64, probeStatus) {
 				continue
 			}
 			add(&st.Missing, 1)
+			e.recTick(slot, elapsed)
 			return 0, probeMissing
 		}
 	}

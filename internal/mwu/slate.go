@@ -107,7 +107,7 @@ func NewSlate(cfg SlateConfig, r *rng.RNG) *Slate {
 		w[i] = 1
 	}
 	s := &Slate{cfg: cfg, weights: w, rng: r, capper: simplex.NewCapper(cfg.K, cfg.N)}
-	s.metrics.MemoryFloats = cfg.K // the weight vector on the selecting node
+	s.metrics.MemoryFloats = int64(cfg.K) // the weight vector on the selecting node
 	return s
 }
 

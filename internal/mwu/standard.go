@@ -99,7 +99,7 @@ func NewStandard(cfg StandardConfig, r *rng.RNG) *Standard {
 		// wins anyway) keep their exact fixed-seed trajectories.
 		useFen: cfg.Agents*log2ceil(cfg.K) < cfg.K,
 	}
-	s.metrics.MemoryFloats = cfg.K // the shared weight vector
+	s.metrics.MemoryFloats = int64(cfg.K) // the shared weight vector
 	return s
 }
 

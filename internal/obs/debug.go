@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebugServer serves the standard Go debugging surface on addr:
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and —
+// when reg is non-nil — the registry snapshot as JSON under
+// /debug/metrics. It binds immediately (so flag typos fail at startup,
+// not on first scrape) and returns the bound address (useful when addr
+// ends in ":0") plus a closer that stops the listener.
+//
+// The server is opt-in via each CLI's -debug-addr flag and never started
+// otherwise: observability endpoints must not change the default process
+// shape. It uses its own mux, not http.DefaultServeMux, so importing this
+// package registers nothing globally beyond expvar's own init.
+func StartDebugServer(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+		})
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateJSONL checks a JSONL trace stream against the event schema and
+// returns the number of events read. It enforces exactly the properties
+// the Tracer guarantees:
+//
+//   - every line decodes into an Event with no unknown fields;
+//   - every event's type is in KnownTypes;
+//   - sequence numbers are dense from 1 (one tracer, one stream);
+//   - Iter, Slot, Arm, Attempt, Tick, Support, K and Agents are
+//     nonnegative.
+//
+// It is the checker behind `benchjson -validate-trace` and the
+// `make trace` smoke target.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	known := make(map[Type]bool, len(KnownTypes))
+	for _, t := range KnownTypes {
+		known[t] = true
+	}
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return n, fmt.Errorf("line %d: %v", line, err)
+		}
+		if err := checkEvent(&e); err != nil {
+			return n, fmt.Errorf("line %d: %v", line, err)
+		}
+		if !known[e.Type] {
+			return n, fmt.Errorf("line %d: unknown event type %q", line, e.Type)
+		}
+		n++
+		if e.Seq != uint64(n) {
+			return n, fmt.Errorf("line %d: seq %d, want %d (dense from 1)", line, e.Seq, n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("empty trace: no events")
+	}
+	return n, nil
+}
+
+// checkEvent enforces the per-field invariants that hold for every type.
+func checkEvent(e *Event) error {
+	if e.Type == "" {
+		return fmt.Errorf("missing type")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"iter", e.Iter}, {"slot", e.Slot}, {"arm", e.Arm},
+		{"attempt", e.Attempt}, {"tick", e.Tick}, {"support", e.Support},
+		{"k", e.K}, {"agents", e.Agents},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("negative %s %d in %s event", f.name, f.v, e.Type)
+		}
+	}
+	if e.N < 0 {
+		return fmt.Errorf("negative n %d in %s event", e.N, e.Type)
+	}
+	return nil
+}

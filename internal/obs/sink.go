@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls (the Tracer serializes, but scoped tracers share one sink)
+// and must not reorder events. Close flushes buffered state; after Close,
+// Emit is undefined.
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// NopSink discards everything. A Tracer built over it reports inactive,
+// so emission sites skip event construction entirely — tracing "off"
+// costs one branch per site.
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(Event) {}
+
+// Close implements Sink.
+func (NopSink) Close() error { return nil }
+
+// JSONLSink writes one JSON object per line through a buffered writer.
+// Emission holds a single mutex around an encode into the buffer — no
+// syscall on the hot path; the buffer flushes at 64 KiB and on Close.
+// Field order and float formatting come from encoding/json on the fixed
+// Event struct, which is what makes equal event streams byte-identical.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	err error
+}
+
+// NewJSONL builds a JSONL sink over w. If w is also an io.Closer, Close
+// closes it after flushing.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink. The first write error sticks and is reported by
+// Close; later events are dropped rather than panicking mid-run.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(&e)
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes the buffer and closes the underlying writer if it is a
+// Closer, returning the first error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// RingSink keeps the last Cap events in memory — the test and debug sink.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	total   int
+}
+
+// NewRing builds a ring sink holding up to cap events (min 1).
+func NewRing(cap int) *RingSink {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RingSink{buf: make([]Event, cap)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf[s.next] = e
+	s.next++
+	s.total++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+	s.mu.Unlock()
+}
+
+// Close implements Sink.
+func (s *RingSink) Close() error { return nil }
+
+// Events returns the retained events in emission order.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// Total returns how many events were emitted (including evicted ones).
+func (s *RingSink) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// OfType filters the retained events by type.
+func (s *RingSink) OfType(t Type) []Event {
+	var out []Event
+	for _, e := range s.Events() {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}

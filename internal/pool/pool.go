@@ -25,6 +25,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/testsuite"
 )
@@ -97,6 +98,24 @@ func (s Stats) SafeRate() float64 {
 	return float64(s.Safe) / float64(s.Evaluated)
 }
 
+// Export publishes the build statistics into an obs.Registry under the
+// given prefix (e.g. "pool"), alongside the other subsystems' counters.
+func (s Stats) Export(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".attempts").Set(int64(s.Attempts))
+	reg.Counter(prefix + ".evaluated").Set(int64(s.Evaluated))
+	reg.Counter(prefix + ".safe").Set(int64(s.Safe))
+	reg.Counter(prefix + ".duplicates").Set(int64(s.Duplicates))
+	reg.Counter(prefix + ".cache_hits").Set(s.CacheHits)
+	reg.Counter(prefix + ".dedup_suppressed").Set(s.DedupSuppressed)
+	reg.Counter(prefix + ".probe_faults").Set(s.ProbeFaults)
+	reg.Counter(prefix + ".retries").Set(s.Retries)
+	reg.Counter(prefix + ".dropped").Set(s.Dropped)
+	reg.Gauge(prefix + ".safe_rate").Set(s.SafeRate())
+}
+
 // Config controls precomputation.
 type Config struct {
 	// Target is the desired pool size. It caps candidate generation, not
@@ -116,6 +135,11 @@ type Config struct {
 	// Retry re-issues faulted candidate evaluations; the zero value
 	// retries nothing, so any fault drops its candidate.
 	Retry faults.Retry
+	// Trace, when active, receives one pool_batch event per evaluation
+	// batch, emitted from the generating goroutine after the batch barrier
+	// — deterministic at any Workers count, like the pool contents
+	// themselves.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fill() {
@@ -203,6 +227,7 @@ func Precompute(ctx context.Context, p *lang.Program, suite *testsuite.Suite, cf
 	defer close(jobs)
 
 	seq := 0
+	batchIdx := 0
 	for pl.stats.Attempts < cfg.MaxAttempts && len(pl.mutations) < cfg.Target {
 		if ctx.Err() != nil {
 			pl.stats.Degraded = true
@@ -235,10 +260,18 @@ func Precompute(ctx context.Context, p *lang.Program, suite *testsuite.Suite, cf
 		// is retained — its evaluation is already paid for — even when the
 		// final batch overshoots Target; only generation is capped by the
 		// loop condition above.
+		safeInBatch := 0
 		for _, c := range batch {
 			if c.ok && c.safe {
 				pl.mutations = append(pl.mutations, c.m)
+				safeInBatch++
 			}
+		}
+		batchIdx++
+		if cfg.Trace.Active() {
+			cfg.Trace.Emit(obs.Event{Type: obs.TypePoolBatch, Iter: batchIdx,
+				N: int64(len(batch)), Safe: int64(safeInBatch),
+				Attempts: int64(pl.stats.Attempts), Dups: int64(pl.stats.Duplicates)})
 		}
 	}
 	pl.stats.Safe = len(pl.mutations)

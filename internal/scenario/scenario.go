@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/lang"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/testsuite"
@@ -461,9 +462,16 @@ func (sc *Scenario) validate() error {
 // property the paper's benchmark selection provides for the real
 // subjects.
 func (sc *Scenario) BuildPool(workers int, seed *rng.RNG) *pool.Pool {
+	return sc.BuildPoolTraced(workers, seed, nil)
+}
+
+// BuildPoolTraced is BuildPool with the phase-1 batch event stream routed
+// to tr (a nil tracer records nothing).
+func (sc *Scenario) BuildPoolTraced(workers int, seed *rng.RNG, tr *obs.Tracer) *pool.Pool {
 	pl := pool.Precompute(context.Background(), sc.Program, sc.Suite, pool.Config{
 		Target:  sc.Profile.PoolTarget,
 		Workers: workers,
+		Trace:   tr,
 	}, seed)
 	for _, m := range sc.Repairers {
 		pl.Add(m)
