@@ -1,10 +1,11 @@
 # Tier-1 verification plus the race detector and probe-path benchmarks.
 #
-#   make ci          vet + build + race-enabled tests + bench smoke + chaos smoke + trace smoke (the full gate)
+#   make ci          vet + build + race-enabled tests + bench smoke + chaos smoke + trace smoke + daemon smoke (the full gate)
 #   make test        plain tier-1 tests (ROADMAP.md's definition)
 #   make race        go test -race ./...
 #   make chaos       fault-injection smoke under -race + E11 JSON schema check
 #   make trace       mwrepair -trace smoke + JSONL schema check
+#   make daemon-smoke mwrepaird process-level smoke: job over HTTP, CLI byte-identity, SIGTERM drain
 #   make bench       sampling + tracing-overhead benchmarks at fixed -benchtime -> $(BENCH_OUT)
 #   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
@@ -22,9 +23,9 @@ BENCH_OUT ?= BENCH_PR5.json
 # PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
 SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-.PHONY: ci vet build test race chaos trace bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos trace daemon-smoke bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke chaos trace
+ci: vet build race bench-smoke chaos trace daemon-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +55,15 @@ trace:
 	$(GO) run ./cmd/mwrepair -scenario lighttpd-1806-1807 -maxiter 500 -workers 4 -seed 3 \
 		-faultrate 0.05 -managed -trace /tmp/trace-smoke.jsonl -trace-sample 5 >/dev/null
 	$(GO) run ./cmd/benchjson -validate-trace /tmp/trace-smoke.jsonl
+
+# Daemon smoke: build the real mwrepaird + mwrepair binaries, start the
+# daemon on an ephemeral port, submit a scenario job over HTTP, poll it to
+# completion, fetch the patch, byte-compare the daemon's per-job trace
+# against the one-shot CLI's, then SIGTERM mid-job and assert a drained
+# exit 0 with schema-valid flushed traces. Gated behind DAEMON_SMOKE=1 so
+# plain `go test ./...` stays fork-free.
+daemon-smoke:
+	DAEMON_SMOKE=1 $(GO) test -count=1 -run TestDaemonSmoke ./internal/server
 
 # The probe-evaluation hot path: sharded cache-hit throughput vs the
 # single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,

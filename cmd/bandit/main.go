@@ -93,7 +93,11 @@ func main() {
 			return false
 		}
 	}
-	res := mwu.Run(context.Background(), learner, problem, r.Split(), cfg)
+	// SIGINT/SIGTERM cancels the run; mwu.Run returns the best-so-far state
+	// and the deferred cleanup flushes the trace.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	res := mwu.Run(ctx, learner, problem, r.Split(), cfg)
 	learner.Metrics().Export(reg, "mwu")
 
 	fmt.Printf("converged: %v after %d update cycles\n", res.Converged, res.Iterations)

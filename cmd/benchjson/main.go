@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -102,6 +104,17 @@ func validateResilience(path string) error {
 // internal/obs contract (known event types, dense sequence numbers,
 // non-negative coordinates) — the `make trace` smoke's validator.
 func validateTrace(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return validateTraceDir(path)
+	}
+	return validateTraceFile(path)
+}
+
+func validateTraceFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -112,6 +125,27 @@ func validateTrace(path string) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %s: %d trace events, schema ok\n", path, n)
+	return nil
+}
+
+// validateTraceDir validates every *.jsonl file in a directory — the
+// layout mwrepaird's -trace-dir produces (one trace per job). An empty
+// directory is an error: validating nothing should not look like success.
+func validateTraceDir(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("%s: no *.jsonl trace files", dir)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := validateTraceFile(p); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d trace files, schema ok\n", dir, len(paths))
 	return nil
 }
 

@@ -85,6 +85,17 @@ func main() {
 	tracer, reg, obsCleanup := obsFlags.Setup("mwrepair", obs.RunID(*seed, "mwrepair", prof.Name, *alg))
 	defer obsCleanup()
 
+	// SIGINT/SIGTERM cancels the run context: phase 1 stops at a batch
+	// boundary, phase 2 returns the best-so-far state, and the deferred
+	// cleanup still flushes the trace. A second signal kills immediately.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	r := rng.New(*seed)
 	var pl *pool.Pool
 	if *loadPool != "" {
@@ -100,7 +111,7 @@ func main() {
 		fmt.Printf("phase 1: loaded pool of %d safe mutations from %s\n", pl.Size(), *loadPool)
 	} else {
 		t0 := time.Now()
-		pl = sc.BuildPoolTraced(*workers, r.Split(), tracer)
+		pl = sc.BuildPoolContext(ctx, *workers, r.Split(), tracer)
 		st := pl.Stats()
 		st.Export(reg, "pool")
 		fmt.Printf("phase 1: precomputed %d safe mutations in %v (%d candidates evaluated, %.0f%% safe)\n",
@@ -118,6 +129,15 @@ func main() {
 		fmt.Printf("  pool saved to %s\n", *savePool)
 	}
 
+	if pl.Size() == 0 {
+		if ctx.Err() != nil {
+			fmt.Println("phase 1: CANCELLED before any safe mutation was found")
+			obsCleanup()
+			os.Exit(1)
+		}
+		fatal(fmt.Errorf("empty mutation pool: no safe mutations found for %s", prof.Name))
+	}
+
 	cfg := core.Config{
 		MaxIter:         *maxIter,
 		Workers:         *workers,
@@ -131,12 +151,6 @@ func main() {
 	}
 	if *managed {
 		cfg.Policies = faults.DefaultPolicies()
-	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
 	}
 
 	t0 := time.Now()

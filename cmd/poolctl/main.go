@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +52,11 @@ func main() {
 	tracer, reg, obsCleanup := obsFlags.Setup("poolctl", obs.RunID(*seed, "poolctl", *scenarioFl))
 	defer obsCleanup()
 
+	// SIGINT/SIGTERM stops a long pool build at a batch boundary and still
+	// flushes the trace via the deferred cleanup.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+
 	switch {
 	case *build:
 		prof, err := scenario.ByName(*scenarioFl)
@@ -60,7 +66,7 @@ func main() {
 		}
 		sc := scenario.Generate(prof)
 		t0 := time.Now()
-		pl := sc.BuildPoolTraced(*workers, rng.New(*seed), tracer)
+		pl := sc.BuildPoolContext(ctx, *workers, rng.New(*seed), tracer)
 		st := pl.Stats()
 		st.Export(reg, "pool")
 		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe, %d cache hits, %d dedup-suppressed)\n",

@@ -11,13 +11,40 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// SignalContext returns a copy of parent that is cancelled on SIGINT or
+// SIGTERM — the shared process-lifecycle path of the CLIs and the repair
+// daemon. Long-running entry points (core.Repair, mwu.Run,
+// pool.Precompute) already accept a context and return their best-so-far
+// partial result when it cancels, so a Ctrl-C'd run unwinds through its
+// normal return path: trace sinks flush, the debug server drains, and
+// partial results are reported instead of silently lost.
+//
+// After the first signal cancels the context, default signal handling is
+// restored, so a second SIGINT/SIGTERM terminates the process immediately
+// — the escape hatch when a drain itself wedges. The returned stop
+// releases the signal registration; call it (or let the process exit)
+// when the context is no longer needed.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		// Restore default handling: the next signal kills the process
+		// instead of being swallowed by a completed registration.
+		stop()
+	}()
+	return ctx, stop
+}
 
 // Fatalf prints a one-line "<cmd>: message" to stderr and exits 2.
 func Fatalf(cmd, format string, args ...any) {
@@ -117,7 +144,11 @@ func (f *ObsFlags) Setup(cmd, run string) (*obs.Tracer, *obs.Registry, func()) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof/ (metrics at /debug/metrics)\n", cmd, addr)
-		closers = append(closers, func() { stop() })
+		closers = append(closers, func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: stopping debug server: %v\n", cmd, err)
+			}
+		})
 	}
 	return tracer, reg, func() {
 		for _, c := range closers {

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bandit"
 	"repro/internal/faults"
@@ -94,6 +95,45 @@ type Config struct {
 	// "mwu.") when the repair returns — the snapshot a -debug-addr
 	// /debug/metrics endpoint serves.
 	Registry *obs.Registry
+	// OnProgress, when non-nil, receives a progress snapshot after every
+	// completed update cycle. It runs on the driver goroutine between
+	// probe barriers (same discipline as trace emission), so it must be
+	// cheap and must not block; the repair daemon's job-status endpoint
+	// feeds from it.
+	OnProgress func(Progress)
+}
+
+// Progress is the mid-run status snapshot delivered to Config.OnProgress:
+// how far the search is, what it has cost so far, what the learner
+// currently believes, and whether faults have left a mark.
+type Progress struct {
+	// Iter is the completed update-cycle count.
+	Iter int
+	// Probes, FitnessEvals, CacheHits and SafeProbes are the cumulative
+	// cost and outcome counters at this cycle (SafeProbes counts probes
+	// whose composition retained all required functionality — the online
+	// estimate of Fig. 4a's safe rate).
+	Probes       int64
+	FitnessEvals int64
+	CacheHits    int64
+	SafeProbes   int64
+	// BestArm is the composition size the learner currently favours (the
+	// online estimate of the Fig. 4b optimum) and BestShare its
+	// probability mass / popularity share.
+	BestArm   int
+	BestShare float64
+	// Repaired reports a full repair has been captured (the run is about
+	// to terminate).
+	Repaired bool
+	// Faults is the resilience ledger so far; Degraded mirrors
+	// Result.Degraded's mid-run view (missing rewards or stalled cycles).
+	Faults faults.Stats
+}
+
+// Degraded reports whether fault injection has visibly degraded the run
+// so far.
+func (p Progress) Degraded() bool {
+	return p.Faults.Missing > 0 || p.Faults.StalledCycles > 0
 }
 
 // Result summarizes one repair attempt.
@@ -152,6 +192,8 @@ type repairOracle struct {
 	mu     sync.Mutex
 	patch  []mutation.Mutation
 	mutant *lang.Program
+
+	safeProbes atomic.Int64
 }
 
 // Arms implements bandit.Oracle.
@@ -163,6 +205,9 @@ func (o *repairOracle) Probe(arm int, r *rng.RNG) bandit.Reward {
 	x := arm + 1
 	mutant, muts := o.pl.ApplySample(x, r)
 	safe, repair := o.runner.Outcome(mutant)
+	if safe {
+		o.safeProbes.Add(1)
+	}
 	if repair {
 		o.mu.Lock()
 		if o.patch == nil {
@@ -237,6 +282,20 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 				tr.Emit(obs.Event{Type: obs.TypeCache, Iter: iter, N: runner.CacheHits()})
 			}
 			patch, _ := oracle.repair()
+			if cfg.OnProgress != nil {
+				m := l.Metrics()
+				cfg.OnProgress(Progress{
+					Iter:         iter,
+					Probes:       m.Probes,
+					FitnessEvals: runner.Evals(),
+					CacheHits:    runner.CacheHits(),
+					SafeProbes:   oracle.safeProbes.Load(),
+					BestArm:      l.Leader() + 1,
+					BestShare:    l.LeaderProb(),
+					Repaired:     patch != nil,
+					Faults:       m.Faults,
+				})
+			}
 			return patch != nil // Fig. 6 line 8: terminate early on repair
 		},
 	})

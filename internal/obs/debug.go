@@ -1,18 +1,40 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
+
+// debugDrainTimeout bounds how long StartDebugServer's stopper waits for
+// in-flight scrapes to complete before falling back to an abortive close.
+// Scrape handlers are cheap (a registry snapshot, an expvar dump), so two
+// seconds is generous; pprof profile captures that outlive it are cut off
+// rather than holding process shutdown hostage.
+const debugDrainTimeout = 2 * time.Second
+
+// MetricsHandler serves a point-in-time JSON snapshot of reg — the
+// /debug/metrics endpoint of both the per-CLI debug server below and the
+// repair daemon's main mux (internal/server).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+}
 
 // StartDebugServer serves the standard Go debugging surface on addr:
 // net/http/pprof under /debug/pprof/, expvar under /debug/vars, and —
 // when reg is non-nil — the registry snapshot as JSON under
 // /debug/metrics. It binds immediately (so flag typos fail at startup,
 // not on first scrape) and returns the bound address (useful when addr
-// ends in ":0") plus a closer that stops the listener.
+// ends in ":0") plus a stopper that shuts the server down gracefully:
+// the listener closes at once (no new scrapes), in-flight responses get
+// debugDrainTimeout to complete, and only then is the connection set
+// torn down. The stopper is idempotent — calling it twice is safe.
 //
 // The server is opt-in via each CLI's -debug-addr flag and never started
 // otherwise: observability endpoints must not change the default process
@@ -31,12 +53,20 @@ func StartDebugServer(addr string, reg *Registry) (string, func() error, error) 
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if reg != nil {
-		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = reg.WriteJSON(w)
-		})
+		mux.Handle("/debug/metrics", MetricsHandler(reg))
 	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), debugDrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Drain budget exhausted (or the context machinery failed):
+			// fall back to the abortive close so shutdown still completes.
+			_ = srv.Close()
+		}
+		return err
+	}
+	return ln.Addr().String(), stop, nil
 }

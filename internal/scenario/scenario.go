@@ -462,13 +462,23 @@ func (sc *Scenario) validate() error {
 // property the paper's benchmark selection provides for the real
 // subjects.
 func (sc *Scenario) BuildPool(workers int, seed *rng.RNG) *pool.Pool {
-	return sc.BuildPoolTraced(workers, seed, nil)
+	return sc.BuildPoolContext(context.Background(), workers, seed, nil)
 }
 
 // BuildPoolTraced is BuildPool with the phase-1 batch event stream routed
 // to tr (a nil tracer records nothing).
 func (sc *Scenario) BuildPoolTraced(workers int, seed *rng.RNG, tr *obs.Tracer) *pool.Pool {
-	pl := pool.Precompute(context.Background(), sc.Program, sc.Suite, pool.Config{
+	return sc.BuildPoolContext(context.Background(), workers, seed, tr)
+}
+
+// BuildPoolContext is BuildPoolTraced with a cancellable context: a
+// SIGINT-cancelled CLI run or a cancelled daemon job stops the build at
+// the next batch boundary and gets the partial pool back (Stats.Degraded
+// set) instead of blocking shutdown behind phase 1. The canonical
+// repairers are appended even to a partial pool, so any non-empty result
+// still contains a repair.
+func (sc *Scenario) BuildPoolContext(ctx context.Context, workers int, seed *rng.RNG, tr *obs.Tracer) *pool.Pool {
+	pl := pool.Precompute(ctx, sc.Program, sc.Suite, pool.Config{
 		Target:  sc.Profile.PoolTarget,
 		Workers: workers,
 		Trace:   tr,
@@ -478,6 +488,61 @@ func (sc *Scenario) BuildPoolTraced(workers int, seed *rng.RNG, tr *obs.Tracer) 
 	}
 	return pl
 }
+
+// FromSource builds a repair scenario from a user-supplied TinyLang
+// program and test suite — the repair daemon's custom-program job path,
+// where the problem arrives serialized over HTTP instead of from the
+// generator. It enforces the same admission invariants Generate
+// guarantees by construction: the program parses, the suite has at least
+// one positive and one negative test, the program passes every positive
+// test (it is "safe" — there is required functionality to preserve) and
+// fails at least one negative test (there is a defect to repair). Unlike
+// generated scenarios there is no canonical repairer and no guarantee a
+// repair exists in the mutation space; Correct is nil and Repairers is
+// empty.
+//
+// poolTarget sets Profile.PoolTarget (0 takes DefaultSourcePoolTarget);
+// options sets Profile.Options, the cap on composition size (0 means "no
+// cap beyond the pool size").
+func FromSource(name, src string, suite *testsuite.Suite, poolTarget, options int) (*Scenario, error) {
+	if name == "" {
+		name = "custom"
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if suite == nil || len(suite.Positive) == 0 {
+		return nil, fmt.Errorf("scenario %s: suite has no positive tests", name)
+	}
+	if len(suite.Negative) == 0 {
+		return nil, fmt.Errorf("scenario %s: suite has no negative (bug-inducing) tests", name)
+	}
+	runner := testsuite.NewRunner(suite)
+	f := runner.Eval(context.Background(), prog)
+	if !f.Safe() {
+		return nil, fmt.Errorf("scenario %s: program fails %d positive test(s) (%v) — nothing safe to preserve", name, f.PosTotal-f.PosPassed, f)
+	}
+	if f.NegPassed == f.NegTotal {
+		return nil, fmt.Errorf("scenario %s: program passes every negative test — nothing to repair", name)
+	}
+	if poolTarget <= 0 {
+		poolTarget = DefaultSourcePoolTarget
+	}
+	return &Scenario{
+		Profile: Profile{Name: name, Options: options, PoolTarget: poolTarget},
+		Program: prog,
+		Suite:   suite,
+	}, nil
+}
+
+// DefaultSourcePoolTarget is the safe-mutation pool size FromSource
+// scenarios precompute when the job does not choose one. Custom programs
+// are typically far smaller than generated benchmark subjects, so the
+// default is modest; pool generation is additionally bounded by
+// pool.Config's attempt cap, so a program with few safe mutations yields
+// a small pool rather than an endless build.
+const DefaultSourcePoolTarget = 128
 
 // MeasureSafeDensity estimates S(x) — the probability that x random
 // distinct pool mutations compose into a program that still passes all

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// The middleware stack, outermost first: Recover (a panicking handler
+// becomes a 500, not a dead daemon), RequestID (every response carries
+// X-Request-Id for log correlation), Logging (one line per request with
+// method, path, status, bytes, latency).
+
+var reqCounter atomic.Uint64
+
+// RequestID stamps each request with a process-unique X-Request-Id
+// (echoing a caller-provided one) and exposes it to inner handlers via
+// the response headers.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08d", reqCounter.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Logging writes one access-log line per request through logf (nil
+// disables logging but keeps the status capture).
+func Logging(logf func(string, ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		if logf != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logf("http %s %s -> %d (%dB, %v, %s)",
+				r.Method, r.URL.Path, status, sw.bytes,
+				time.Since(t0).Round(time.Microsecond), sw.Header().Get("X-Request-Id"))
+		}
+	})
+}
+
+// Recover converts a handler panic into a 500 response and a logged
+// stack trace instead of tearing down the daemon's connection goroutine.
+func Recover(next http.Handler, logf func(string, ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if logf != nil {
+					logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				// Headers may already be gone; best-effort 500.
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDaemonSmoke exercises the real binaries end to end: build
+// mwrepaird and mwrepair, start the daemon on an ephemeral port, drive a
+// full job over HTTP, byte-compare its trace against the one-shot CLI's,
+// then SIGTERM the daemon mid-job and assert a clean, drained exit with
+// flushed traces. It is the `make daemon-smoke` CI gate; set
+// DAEMON_SMOKE=1 to run it (it shells out to `go build` and forks
+// processes, which unit runs should not).
+func TestDaemonSmoke(t *testing.T) {
+	if os.Getenv("DAEMON_SMOKE") != "1" {
+		t.Skip("set DAEMON_SMOKE=1 to run the process-level smoke test")
+	}
+
+	dir := t.TempDir()
+	daemonBin := filepath.Join(dir, "mwrepaird")
+	cliBin := filepath.Join(dir, "mwrepair")
+	for bin, pkg := range map[string]string{daemonBin: "repro/cmd/mwrepaird", cliBin: "repro/cmd/mwrepair"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	traceDir := filepath.Join(dir, "traces")
+	addrFile := filepath.Join(dir, "addr")
+	daemon := exec.Command(daemonBin,
+		"-addr", "127.0.0.1:0",
+		"-jobs", "1",
+		"-queue", "4",
+		"-drain", "500ms",
+		"-trace-dir", traceDir,
+		"-addr-file", addrFile)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	defer daemon.Process.Kill() // no-op if the SIGTERM path already reaped it
+
+	// Discover the bound address via -addr-file.
+	var base string
+	for i := 0; i < 200; i++ {
+		b, err := os.ReadFile(addrFile)
+		if err == nil && len(bytes.TrimSpace(b)) > 0 {
+			base = "http://" + string(bytes.TrimSpace(b))
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatal("daemon never wrote -addr-file")
+	}
+
+	if !waitHealthy(base, 5*time.Second) {
+		t.Fatal("daemon never became healthy")
+	}
+
+	// Submit the reference job and poll it to completion.
+	spec := map[string]any{
+		"scenario": "lighttpd-1806-1807",
+		"seed":     3,
+		"workers":  4,
+		"maxIter":  500,
+		"trace":    true,
+	}
+	st := submitJSON(t, base, spec, http.StatusAccepted)
+	final := pollTerminal(t, base, st.ID, 60*time.Second)
+	if final.State != StateDone || final.Result == nil || !final.Result.Repaired {
+		t.Fatalf("job finished %s (result %+v), want done+repaired", final.State, final.Result)
+	}
+
+	// The patch endpoint serves the repair.
+	resp, err := http.Get(base + "/v1/jobs/" + st.ID + "/patch")
+	if err != nil {
+		t.Fatalf("GET patch: %v", err)
+	}
+	var patch struct {
+		Program string `json:"program"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&patch)
+	resp.Body.Close()
+	if err != nil || patch.Program == "" {
+		t.Fatalf("patch body: err=%v program=%d bytes", err, len(patch.Program))
+	}
+
+	// Byte-identity against the one-shot CLI binary.
+	cliTrace := filepath.Join(dir, "cli.jsonl")
+	cli := exec.Command(cliBin,
+		"-scenario", "lighttpd-1806-1807",
+		"-seed", "3",
+		"-workers", "4",
+		"-maxiter", "500",
+		"-trace", cliTrace)
+	if out, err := cli.CombinedOutput(); err != nil {
+		t.Fatalf("one-shot mwrepair: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(cliTrace)
+	if err != nil {
+		t.Fatalf("reading CLI trace: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(traceDir, st.ID+".jsonl"))
+	if err != nil {
+		t.Fatalf("reading daemon trace: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon trace differs from CLI trace (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// SIGTERM with a slow job in flight: the daemon must drain (cancel
+	// the job, flush its trace) and exit 0.
+	slow := map[string]any{
+		"program":    slowSrc,
+		"name":       "spinner",
+		"suite":      slowSuite(),
+		"poolTarget": 8,
+		"workers":    1,
+		"maxIter":    1_000_000,
+		"trace":      true,
+	}
+	slowSt := submitJSON(t, base, slow, http.StatusAccepted)
+	waitRunning(t, base, slowSt.ID, 20*time.Second)
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+
+	// Every trace the daemon wrote — including the cancelled job's — is
+	// schema-valid and fully flushed.
+	traces, err := filepath.Glob(filepath.Join(traceDir, "*.jsonl"))
+	if err != nil || len(traces) != 2 {
+		t.Fatalf("trace dir: %v (err %v), want 2 traces", traces, err)
+	}
+	for _, p := range traces {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatalf("opening %s: %v", p, err)
+		}
+		n, err := obs.ValidateJSONL(f)
+		f.Close()
+		if err != nil || n == 0 {
+			t.Fatalf("trace %s: %d events, err %v", p, n, err)
+		}
+	}
+}
+
+func waitHealthy(base string, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return false
+}
+
+func submitJSON(t *testing.T, base string, spec any, wantStatus int) Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST /v1/jobs: status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return st
+}
+
+func fetchStatus(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+func pollTerminal(t *testing.T, base, id string, budget time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		st := fetchStatus(t, base, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal after %v", id, budget)
+	return Status{}
+}
+
+func waitRunning(t *testing.T, base, id string, budget time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if fetchStatus(t, base, id).State == StateRunning {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}
