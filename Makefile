@@ -6,7 +6,8 @@
 #   make chaos       fault-injection smoke under -race + E11 JSON schema check
 #   make trace       mwrepair -trace smoke + JSONL schema check
 #   make daemon-smoke mwrepaird process-level smoke: job over HTTP, CLI byte-identity, SIGTERM drain
-#   make bench       sampling + tracing-overhead benchmarks at fixed -benchtime -> $(BENCH_OUT)
+#   make store       persistent-store gate: corruption recovery + warm-start determinism under -race, write-behind overhead bound
+#   make bench       sampling + tracing-overhead + store benchmarks at fixed -benchtime -> $(BENCH_OUT)
 #   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
 #   make bench-all   every benchmark once (smoke)
@@ -14,8 +15,8 @@
 GO ?= go
 
 # Where `make bench` writes its JSON records. Override per PR so benchmark
-# history accumulates instead of overwriting: make bench BENCH_OUT=BENCH_PR6.json
-BENCH_OUT ?= BENCH_PR5.json
+# history accumulates instead of overwriting: make bench BENCH_OUT=BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR7.json
 
 # The perf-trajectory benchmarks frozen into BENCH_PR2.json: the
 # BenchmarkSample primitive comparison (naive scan vs Fenwick vs batched),
@@ -23,9 +24,9 @@ BENCH_OUT ?= BENCH_PR5.json
 # PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
 SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-.PHONY: ci vet build test race chaos trace daemon-smoke bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos trace daemon-smoke store bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke chaos trace daemon-smoke
+ci: vet build race bench-smoke chaos trace daemon-smoke store
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +66,15 @@ trace:
 daemon-smoke:
 	DAEMON_SMOKE=1 $(GO) test -count=1 -run TestDaemonSmoke ./internal/server
 
+# Store gate: the corruption-recovery set (torn tail, bit flips,
+# quarantine, audit rebuild) and the warm-start determinism e2e tests
+# under the race detector, then the write-behind overhead bound (cold
+# store ≤ 1.05× no store on the probe hot path, STORE_BENCH-gated).
+store:
+	$(GO) test -race -run 'Corrupt|Quarantine|Truncat|Duplicate|Audit|Snapshot|WarmStart|StoreShared' \
+		./internal/store ./internal/testsuite ./internal/core ./internal/server
+	STORE_BENCH=1 $(GO) test -count=1 -run TestProbeWriteBehindOverheadGate .
+
 # The probe-evaluation hot path: sharded cache-hit throughput vs the
 # single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,
 # and phase-1 pool precompute scaling. -benchtime 1x keeps it a smoke
@@ -77,7 +87,7 @@ bench-probe:
 # records for each result. BenchmarkRun$ (anchored — BenchmarkRunner* are
 # separate probe-path benchmarks) is the tracing-overhead trio.
 bench:
-	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)|BenchmarkRun$$' -benchmem -benchtime 1s . ./internal/wrs \
+	$(GO) test -run '^$$' -bench '$(SAMPLING_BENCH)|BenchmarkRun$$|BenchmarkProbeWriteBehind' -benchmem -benchtime 1s . ./internal/wrs \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 bench-smoke:

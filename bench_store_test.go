@@ -1,0 +1,136 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/store"
+	"repro/internal/testsuite"
+)
+
+// The write-behind workload: a fresh mutant every round, so every eval
+// is a cache miss that executes the suite — the phase-1/phase-2 probe
+// hot path. The loop body runs ~20k interpreter steps per eval, the
+// same shape (smaller n) as BenchmarkRunnerDuplicateProbeThroughput.
+func storeBenchSuite() *testsuite.Suite {
+	return &testsuite.Suite{Positive: []testsuite.Test{{
+		Name: "count", Input: []int64{20000}, Want: []int64{20001}, MaxSteps: 200000,
+	}}}
+}
+
+// storeBenchSrc yields a distinct program per round (the i-i constant
+// changes the text, not the behavior), so nothing is served from cache.
+func storeBenchSrc(i int) string {
+	return "input n\nset i = " + itoa(i) + " - " + itoa(i) +
+		"\nlabel loop\nif i > n goto done\nset i = i + 1\ngoto loop\nlabel done\nprint i\n"
+}
+
+// benchProbeOff is the baseline: no store, every round pays one suite
+// execution.
+func benchProbeOff(b *testing.B) {
+	r := testsuite.NewRunner(storeBenchSuite())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Eval(context.Background(), lang.MustParse(storeBenchSrc(i)))
+	}
+}
+
+// benchProbeCold attaches an empty store, so every round additionally
+// enqueues a write-behind record — the persistence overhead under test.
+// The store is flushed and closed off the clock.
+func benchProbeCold(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatalf("opening store: %v", err)
+	}
+	r := testsuite.NewRunner(storeBenchSuite())
+	r.AttachStore(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Eval(context.Background(), lang.MustParse(storeBenchSrc(i)))
+	}
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatalf("closing store: %v", err)
+	}
+}
+
+// benchProbeWarm replays a workload whose verdicts a previous run
+// already persisted: the runner warm-starts from the reopened store and
+// every eval is a cache hit that never executes the suite — the payoff
+// side of the trio.
+func benchProbeWarm(b *testing.B) {
+	const mutants = 256
+	dir := b.TempDir()
+	programs := make([]*lang.Program, mutants)
+	for i := range programs {
+		programs[i] = lang.MustParse(storeBenchSrc(i))
+	}
+
+	// A prior run records every verdict; reopen to warm-start from disk.
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		b.Fatalf("opening store: %v", err)
+	}
+	warmup := testsuite.NewRunner(storeBenchSuite())
+	warmup.AttachStore(st)
+	for _, p := range programs {
+		warmup.Eval(context.Background(), p)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatalf("closing store after warmup: %v", err)
+	}
+	if st, err = store.Open(store.Options{Dir: dir}); err != nil {
+		b.Fatalf("reopening store: %v", err)
+	}
+
+	r := testsuite.NewRunner(storeBenchSuite())
+	r.AttachStore(st)
+	if n := r.WarmStart(); n != mutants {
+		b.Fatalf("warm-started %d entries, want %d", n, mutants)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Eval(context.Background(), programs[i%mutants])
+	}
+	b.StopTimer()
+	if r.Evals() != 0 {
+		b.Fatalf("warm run executed %d suite evaluations, want 0", r.Evals())
+	}
+	if err := st.Close(); err != nil {
+		b.Fatalf("closing store: %v", err)
+	}
+}
+
+// BenchmarkProbeWriteBehind is the cost/payoff trio of the persistent
+// evaluation store on the probe hot path: off (no store), cold (empty
+// store: every eval also enqueues a write-behind record), warm (store
+// already holds every verdict: evals become cache hits). cold/off is
+// the persistence overhead — TestProbeWriteBehindOverheadGate bounds it
+// at 5% — and warm/off is the amortized win across runs.
+func BenchmarkProbeWriteBehind(b *testing.B) {
+	b.Run("off", benchProbeOff)
+	b.Run("cold", benchProbeCold)
+	b.Run("warm", benchProbeWarm)
+}
+
+// TestProbeWriteBehindOverheadGate asserts the ISSUE's performance bound:
+// write-behind persistence may cost at most 5% on the probe hot path.
+// Wall-clock benchmark comparisons are noisy on shared CI machines, so
+// the gate is opt-in via STORE_BENCH=1 (the `make store` target sets it).
+func TestProbeWriteBehindOverheadGate(t *testing.T) {
+	if os.Getenv("STORE_BENCH") == "" {
+		t.Skip("set STORE_BENCH=1 to run the write-behind overhead gate")
+	}
+	off := testing.Benchmark(benchProbeOff)
+	cold := testing.Benchmark(benchProbeCold)
+	ratio := float64(cold.NsPerOp()) / float64(off.NsPerOp())
+	t.Logf("off %d ns/op, cold %d ns/op, overhead %.2f%%",
+		off.NsPerOp(), cold.NsPerOp(), 100*(ratio-1))
+	if ratio > 1.05 {
+		t.Errorf("write-behind overhead %.2f%% exceeds the 5%% budget (off %d ns/op, cold %d ns/op)",
+			100*(ratio-1), off.NsPerOp(), cold.NsPerOp())
+	}
+}

@@ -8,12 +8,18 @@
 //
 //	mwrepair -scenario gzip-2009-09-26 [-algorithm standard]
 //	         [-maxiter 2000] [-workers 8] [-seed 1]
-//	         [-savepool pool.json] [-loadpool pool.json] [-v]
+//	         [-savepool pool.json] [-loadpool pool.json] [-store data/] [-v]
 //	         [-trace run.jsonl] [-trace-sample 10] [-debug-addr localhost:6060]
 //
 // Scenarios are the named registry entries (see -list). -trace records
 // the iteration-level event stream (internal/obs JSONL schema); the
 // stream is seed-deterministic, byte-identical at any -workers count.
+//
+// -store opens (or creates) a persistent evaluation store in the given
+// data directory: pool precompute and the online phase reuse verdicts
+// recorded by earlier runs over the same suite, and record new ones for
+// the next run. Warm-starting never changes the result — the patch and
+// trace stay byte-identical to a cold run, only cheaper.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +51,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		savePool = flag.String("savepool", "", "write the precomputed pool to this file")
 		loadPool = flag.String("loadpool", "", "read a previously saved pool instead of precomputing")
+		storeDir = flag.String("store", "", "persistent evaluation-store data directory (warm-starts this run, records for the next)")
 		verbose  = flag.Bool("v", false, "print the defective program and the repaired program")
 
 		faultRate = flag.Float64("faultrate", 0, "inject probe faults at this base rate (0 = off)")
@@ -85,6 +93,32 @@ func main() {
 	tracer, reg, obsCleanup := obsFlags.Setup("mwrepair", obs.RunID(*seed, "mwrepair", prof.Name, *alg))
 	defer obsCleanup()
 
+	// The store must be flushed and snapshotted on every exit path;
+	// os.Exit skips defers, so the manual exits below call closeStore
+	// explicitly (it is idempotent) and fatal runs registered hooks.
+	var st *store.Store
+	closeStore := func() {
+		if st == nil {
+			return
+		}
+		s := st
+		st = nil
+		if err := s.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mwrepair: store close:", err)
+		}
+	}
+	defer closeStore()
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(store.Options{Dir: *storeDir}); err != nil {
+			fatal(err)
+		}
+		fatalHooks = append(fatalHooks, closeStore)
+		ss := st.Stats()
+		fmt.Printf("store %s: %d eval records, %d pool records, %d pack(s)\n",
+			*storeDir, ss.EvalRecords, ss.PoolRecords, ss.Packs)
+	}
+
 	// SIGINT/SIGTERM cancels the run context: phase 1 stops at a batch
 	// boundary, phase 2 returns the best-so-far state, and the deferred
 	// cleanup still flushes the trace. A second signal kills immediately.
@@ -111,11 +145,14 @@ func main() {
 		fmt.Printf("phase 1: loaded pool of %d safe mutations from %s\n", pl.Size(), *loadPool)
 	} else {
 		t0 := time.Now()
-		pl = sc.BuildPoolContext(ctx, *workers, r.Split(), tracer)
-		st := pl.Stats()
-		st.Export(reg, "pool")
+		pl = sc.BuildPoolStored(ctx, *workers, r.Split(), tracer, st)
+		ps := pl.Stats()
+		ps.Export(reg, "pool")
 		fmt.Printf("phase 1: precomputed %d safe mutations in %v (%d candidates evaluated, %.0f%% safe)\n",
-			pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate())
+			pl.Size(), time.Since(t0).Round(time.Millisecond), ps.Evaluated, 100*ps.SafeRate())
+		if ps.StoreHits > 0 {
+			fmt.Printf("  store: %d warm verdicts reused\n", ps.StoreHits)
+		}
 	}
 	if *savePool != "" {
 		f, err := os.Create(*savePool)
@@ -132,6 +169,7 @@ func main() {
 	if pl.Size() == 0 {
 		if ctx.Err() != nil {
 			fmt.Println("phase 1: CANCELLED before any safe mutation was found")
+			closeStore()
 			obsCleanup()
 			os.Exit(1)
 		}
@@ -145,6 +183,7 @@ func main() {
 		StragglerCutoff: *cutoff,
 		Trace:           tracer,
 		Registry:        reg,
+		Store:           st,
 	}
 	if *faultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
@@ -172,6 +211,7 @@ func main() {
 			state, res.Iterations, res.Probes, res.FitnessEvals, elapsed)
 		fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
 			res.CacheHits, res.DedupSuppressed, res.ShardContention)
+		closeStore()
 		obsCleanup() // os.Exit skips defers; flush the trace first
 		os.Exit(1)
 	}
@@ -179,6 +219,9 @@ func main() {
 		*alg, res.Iterations, res.Agents, res.Probes, res.FitnessEvals, elapsed)
 	fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
 		res.CacheHits, res.DedupSuppressed, res.ShardContention)
+	if res.WarmEntries > 0 {
+		fmt.Printf("  store: %d entries warm-started, %d warm hits\n", res.WarmEntries, res.WarmHits)
+	}
 	fmt.Printf("  learned composition size x* = %d\n", res.LearnedArm)
 	fmt.Printf("  patch (%d mutations):\n", len(res.Patch))
 	for _, m := range res.Patch {
@@ -207,7 +250,15 @@ func describeMutation(sc *scenario.Scenario, m mutation.Mutation) string {
 	}
 }
 
+// fatalHooks run (newest first) before fatal exits; os.Exit skips
+// deferred cleanups, so anything that must flush on a fatal error —
+// today just the evaluation store — registers itself here.
+var fatalHooks []func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mwrepair:", err)
+	for i := len(fatalHooks) - 1; i >= 0; i-- {
+		fatalHooks[i]()
+	}
 	os.Exit(1)
 }

@@ -8,7 +8,7 @@
 //
 //	mwrepaird [-addr 127.0.0.1:8080] [-jobs 2] [-queue 16]
 //	          [-drain 10s] [-trace-dir traces/] [-addr-file path]
-//	          [-debug-addr localhost:6060]
+//	          [-debug-addr localhost:6060] [-store data/]
 //
 // API:
 //
@@ -26,6 +26,13 @@
 // a byte-identical JSONL trace. SIGINT/SIGTERM drains gracefully: stop
 // admitting, let running jobs finish within -drain (then cancel them for
 // best-so-far partial results), flush every trace sink, exit 0.
+//
+// With -store, the daemon opens one persistent evaluation store in the
+// given data directory and shares it across every job: repeated
+// scenarios warm-start from earlier jobs' verdicts (results stay
+// byte-identical, just cheaper), and the store survives restarts —
+// /healthz and /debug/metrics report its state under "store" /
+// "server.store.*". The store is flushed and snapshotted at drain.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -53,6 +61,7 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "write per-job JSONL traces to this directory")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file (for scripts using :0)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof + /debug/metrics on this extra address")
+		storeDir = flag.String("store", "", "persistent evaluation-store data directory shared across jobs")
 	)
 	flag.Parse()
 	cliutil.Positive("mwrepaird", "jobs", *jobs)
@@ -67,6 +76,17 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(store.Options{Dir: *storeDir}); err != nil {
+			logger.Fatalf("-store: %v", err)
+		}
+		ss := st.Stats()
+		logger.Printf("store %s: %d eval records, %d pool records, %d pack(s)",
+			*storeDir, ss.EvalRecords, ss.PoolRecords, ss.Packs)
+	}
+
 	reg := obs.NewRegistry()
 	mgr := server.NewManager(server.Config{
 		Workers:      *jobs,
@@ -74,6 +94,7 @@ func main() {
 		TraceDir:     *traceDir,
 		DrainTimeout: *drain,
 		Registry:     reg,
+		Store:        st,
 		Logf:         logger.Printf,
 	})
 
@@ -130,6 +151,13 @@ func main() {
 	if stopDebug != nil {
 		if err := stopDebug(); err != nil {
 			logger.Printf("debug shutdown: %v", err)
+		}
+	}
+	// Jobs are drained; flush + snapshot the store so the next start
+	// warm-opens from the snapshot instead of a full pack scan.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			logger.Printf("store close: %v", err)
 		}
 	}
 	logger.Printf("drained; exiting")

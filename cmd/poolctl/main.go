@@ -6,16 +6,34 @@
 // Usage:
 //
 //	poolctl -build -scenario units -out units.pool [-target 1100] [-workers 8]
+//	poolctl -build -scenario units -store data/            # persist into the store
 //	poolctl -inspect -in units.pool
+//	poolctl -inspect -scenario units -store data/          # read back from the store
 //	poolctl -revalidate -scenario units -in units.pool -out units2.pool
+//	poolctl -fsck -store data/
+//	poolctl -compact -store data/
+//	poolctl -store-stats -store data/
 //
 // -revalidate reruns every pool mutation against the scenario's current
 // suite and drops newly unsafe entries — the paper's incremental-update
 // path for when a repaired bug's failing test joins the suite.
+//
+// With -store, -build records the pool (and every suite verdict it paid
+// for) in the persistent evaluation store instead of requiring an ad-hoc
+// -out file, and -inspect reads it back. -fsck audits every pack file's
+// checksums, truncating a torn tail and quarantining corrupt packs (exit
+// 1 when a pack had to be quarantined — records were lost). -compact
+// rewrites the live records into a single pack, dropping superseded
+// duplicates. -store-stats prints the store's stats as JSON.
+//
+// Exactly one action flag must be given; none or several is a usage
+// error (exit 2, like any flag-validation failure). Runtime failures —
+// I/O errors, unknown scenarios, corrupt pool files — exit 1.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +45,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 func main() {
@@ -34,10 +53,14 @@ func main() {
 		build      = flag.Bool("build", false, "precompute a pool for -scenario")
 		inspect    = flag.Bool("inspect", false, "print a pool summary")
 		revalidate = flag.Bool("revalidate", false, "re-check a pool against the scenario's suite")
+		fsck       = flag.Bool("fsck", false, "audit the store's pack checksums; quarantine corrupt packs")
+		compact    = flag.Bool("compact", false, "rewrite the store's live records into a single pack")
+		storeStats = flag.Bool("store-stats", false, "print the store's stats as JSON")
 
 		scenarioFl = flag.String("scenario", "", "registry scenario name")
 		in         = flag.String("in", "", "input pool file")
 		out        = flag.String("out", "", "output pool file")
+		storeDir   = flag.String("store", "", "persistent evaluation-store data directory")
 		target     = flag.Int("target", 0, "pool size target (default: scenario profile)")
 		workers    = flag.Int("workers", 8, "parallel evaluation workers")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -49,6 +72,33 @@ func main() {
 	cliutil.NonNegative("poolctl", "target", *target)
 	obsFlags.Validate("poolctl")
 
+	// Exactly one action. Zero or several is a flag-usage mistake, so it
+	// takes the same exit-2 path as any other validation failure.
+	actions := 0
+	for _, a := range []bool{*build, *inspect, *revalidate, *fsck, *compact, *storeStats} {
+		if a {
+			actions++
+		}
+	}
+	switch {
+	case actions == 0:
+		cliutil.Fatalf("poolctl", "no action: pass one of -build, -inspect, -revalidate, -fsck, -compact, -store-stats")
+	case actions > 1:
+		cliutil.Fatalf("poolctl", "conflicting actions: pass exactly one of -build, -inspect, -revalidate, -fsck, -compact, -store-stats")
+	}
+	if (*fsck || *compact || *storeStats) && *storeDir == "" {
+		cliutil.Fatalf("poolctl", "-fsck, -compact and -store-stats require -store")
+	}
+	if *build && *out == "" && *storeDir == "" {
+		cliutil.Fatalf("poolctl", "-build requires -out or -store (or both)")
+	}
+	if *inspect && *in == "" && *storeDir == "" {
+		cliutil.Fatalf("poolctl", "-inspect requires -in, or -store with -scenario")
+	}
+	if *inspect && *in == "" && *scenarioFl == "" {
+		cliutil.Fatalf("poolctl", "-inspect from -store needs -scenario to identify the pool")
+	}
+
 	tracer, reg, obsCleanup := obsFlags.Setup("poolctl", obs.RunID(*seed, "poolctl", *scenarioFl))
 	defer obsCleanup()
 
@@ -56,6 +106,14 @@ func main() {
 	// flushes the trace via the deferred cleanup.
 	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir})
+		fatalIf(err)
+		defer func() { fatalIf(st.Close()) }()
+	}
 
 	switch {
 	case *build:
@@ -66,21 +124,38 @@ func main() {
 		}
 		sc := scenario.Generate(prof)
 		t0 := time.Now()
-		pl := sc.BuildPoolContext(ctx, *workers, rng.New(*seed), tracer)
-		st := pl.Stats()
-		st.Export(reg, "pool")
+		pl := sc.BuildPoolStored(ctx, *workers, rng.New(*seed), tracer, st)
+		ps := pl.Stats()
+		ps.Export(reg, "pool")
 		fmt.Printf("built pool for %s: %d safe mutations in %v (%d candidates, %.0f%% safe, %d cache hits, %d dedup-suppressed)\n",
-			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), st.Evaluated, 100*st.SafeRate(),
-			st.CacheHits, st.DedupSuppressed)
-		save(pl, *out)
+			prof.Name, pl.Size(), time.Since(t0).Round(time.Millisecond), ps.Evaluated, 100*ps.SafeRate(),
+			ps.CacheHits, ps.DedupSuppressed)
+		if st != nil {
+			fmt.Printf("persisted pool to store %s (%d verdicts reused from earlier runs)\n", *storeDir, ps.StoreHits)
+		}
+		if *out != "" {
+			save(pl, *out)
+		}
 
 	case *inspect:
-		pl := load(*in)
-		st := pl.Stats()
+		var pl *pool.Pool
+		if *in != "" {
+			pl = load(*in)
+		} else {
+			prof, err := scenario.ByName(*scenarioFl)
+			fatalIf(err)
+			sc := scenario.Generate(prof)
+			pl, err = pool.FromStore(st, sc.Program, sc.Suite)
+			fatalIf(err)
+			if pl == nil {
+				fatalIf(fmt.Errorf("store %s has no pool records for scenario %s", *storeDir, prof.Name))
+			}
+		}
+		ps := pl.Stats()
 		fmt.Printf("pool: %d safe mutations (program: %d statements)\n", pl.Size(), pl.Original().Len())
 		fmt.Printf("build stats: %d attempts, %d evaluated, %d duplicates skipped, safe rate %.0f%%\n",
-			st.Attempts, st.Evaluated, st.Duplicates, 100*st.SafeRate())
-		fmt.Printf("cache stats: %d hits, %d dedup-suppressed\n", st.CacheHits, st.DedupSuppressed)
+			ps.Attempts, ps.Evaluated, ps.Duplicates, 100*ps.SafeRate())
+		fmt.Printf("cache stats: %d hits, %d dedup-suppressed\n", ps.CacheHits, ps.DedupSuppressed)
 		byOp := map[mutation.Op]int{}
 		for _, m := range pl.Mutations() {
 			byOp[m.Op]++
@@ -102,16 +177,38 @@ func main() {
 			save(pl, *out)
 		}
 
-	default:
-		flag.Usage()
-		os.Exit(2)
+	case *fsck:
+		rep, err := st.Audit()
+		fatalIf(err)
+		fmt.Printf("fsck %s: %d pack(s) scanned, %d record(s) verified\n",
+			*storeDir, rep.PacksScanned, rep.RecordsVerified)
+		if rep.TailTruncated {
+			fmt.Println("  torn tail truncated from the newest pack (a crash mid-append; no records lost)")
+		}
+		for _, q := range rep.Quarantined {
+			fmt.Printf("  quarantined corrupt pack: %s\n", q)
+		}
+		if len(rep.Quarantined) > 0 {
+			fatalIf(fmt.Errorf("%d pack(s) quarantined; their records were dropped from the index", len(rep.Quarantined)))
+		}
+		fmt.Println("  clean")
+
+	case *compact:
+		before := st.Stats()
+		live, err := st.Compact()
+		fatalIf(err)
+		after := st.Stats()
+		fmt.Printf("compacted %s: %d live record(s) kept, %d -> %d pack(s), %d -> %d bytes\n",
+			*storeDir, live, before.Packs, after.Packs, before.Bytes, after.Bytes)
+
+	case *storeStats:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(st.Stats()))
 	}
 }
 
 func save(pl *pool.Pool, path string) {
-	if path == "" {
-		fatalIf(fmt.Errorf("missing -out"))
-	}
 	f, err := os.Create(path)
 	fatalIf(err)
 	defer f.Close()
@@ -121,7 +218,7 @@ func save(pl *pool.Pool, path string) {
 
 func load(path string) *pool.Pool {
 	if path == "" {
-		fatalIf(fmt.Errorf("missing -in"))
+		cliutil.Fatalf("poolctl", "missing -in")
 	}
 	f, err := os.Open(path)
 	fatalIf(err)
@@ -131,6 +228,9 @@ func load(path string) *pool.Pool {
 	return pl
 }
 
+// fatalIf reports a runtime failure (I/O, corrupt input, unknown
+// scenario) and exits 1 — distinct from flag-usage mistakes, which exit
+// 2 via cliutil.Fatalf before any work starts.
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "poolctl:", err)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/testsuite"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// cheap and must not block; the repair daemon's job-status endpoint
 	// feeds from it.
 	OnProgress func(Progress)
+	// Store, when non-nil, persists every completed evaluation (write-
+	// behind, batched off the probe hot path) and warm-starts the fitness
+	// cache from prior runs' verdicts before the first probe. Verdicts
+	// are pure functions of (program, suite), so warm-starting changes
+	// which lookups pay for a suite execution, never what the search
+	// does: the patch and trace stay byte-identical to a cold run.
+	Store *store.Store
 }
 
 // Progress is the mid-run status snapshot delivered to Config.OnProgress:
@@ -177,6 +185,12 @@ type Result struct {
 	// Faults is the resilience ledger for the online phase: faults
 	// injected, retries, timeouts, hedges won (zero without an injector).
 	Faults faults.Stats
+	// WarmEntries is the number of cache entries preloaded from the
+	// persistent store (zero without Config.Store); WarmHits is how many
+	// probe lookups those entries answered — suite executions a previous
+	// run paid for.
+	WarmEntries int64
+	WarmHits    int64
 }
 
 // repairOracle adapts (pool, suite) to the bandit.Oracle interface. Arm i
@@ -263,6 +277,10 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 		cfg.MaxIter = 10000
 	}
 	runner := testsuite.NewRunner(suite)
+	if cfg.Store != nil {
+		runner.AttachStore(cfg.Store)
+		runner.WarmStart()
+	}
 	oracle := &repairOracle{pl: pl, runner: runner, k: k, policy: cfg.Reward, scale: cfg.ThroughputScale}
 
 	tr := cfg.Trace
@@ -276,10 +294,14 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 		OnIteration: func(iter int, l mwu.Learner) bool {
 			if tr.Sampled(iter) {
 				// The callback runs on the driver goroutine between probe
-				// barriers; the cumulative hit count is a pure function of
-				// the probes issued so far, so the event stream stays
-				// worker-count invariant.
-				tr.Emit(obs.Event{Type: obs.TypeCache, Iter: iter, N: runner.CacheHits()})
+				// barriers; the cumulative completed-lookup count (hits +
+				// executed evaluations) is a pure function of the probes
+				// issued so far, so the event stream stays invariant across
+				// worker counts AND cache warmth — a warm-started cache
+				// converts evals into hits one for one, leaving the sum
+				// untouched. Raw hit counts would break warm/cold trace
+				// byte-identity.
+				tr.Emit(obs.Event{Type: obs.TypeCache, Iter: iter, N: runner.Lookups()})
 			}
 			patch, _ := oracle.repair()
 			if cfg.OnProgress != nil {
@@ -307,8 +329,12 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 	m.CacheHits = runner.CacheHits()
 	m.DedupSuppressed = runner.DedupSuppressed()
 	m.ShardContention = runner.ShardContention()
+	m.WarmEntries = runner.WarmEntries()
+	m.WarmHits = runner.WarmHits()
 	if cfg.Registry != nil {
 		m.Export(cfg.Registry, "mwu")
+		cfg.Registry.Counter("cache.warm_entries").Set(runner.WarmEntries())
+		cfg.Registry.Counter("cache.warm_hits").Set(runner.WarmHits())
 	}
 	res := Result{
 		Repaired:        patch != nil,
@@ -325,6 +351,8 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 		Cancelled:       runRes.Cancelled,
 		Degraded:        runRes.Degraded,
 		Faults:          m.Faults,
+		WarmEntries:     m.WarmEntries,
+		WarmHits:        m.WarmHits,
 	}
 	return res
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// runStored replays the cmd/mwrepair pipeline (same RNG split order,
+// same run label) against an open store and returns the result plus the
+// raw JSONL trace bytes.
+func runStored(t *testing.T, dir string, st *store.Store) (Result, []byte) {
+	t.Helper()
+	const (
+		name    = "lighttpd-1806-1807"
+		alg     = "standard"
+		seed    = uint64(3)
+		workers = 4
+		maxIter = 500
+	)
+	tracePath := filepath.Join(dir, "run.jsonl")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		t.Fatalf("creating trace: %v", err)
+	}
+	tracer := obs.New(obs.NewJSONL(f),
+		obs.WithRun(obs.RunID(seed, "mwrepair", name, alg)),
+		obs.WithSample(1))
+	prof := scenario.MustByName(name)
+	sc := scenario.Generate(prof)
+	r := rng.New(seed)
+	ctx := context.Background()
+	pl := sc.BuildPoolStored(ctx, workers, r.Split(), tracer, st)
+	cfg := Config{MaxIter: maxIter, Workers: workers, MaxX: prof.Options, Trace: tracer, Store: st}
+	res, err := RepairWithAlgorithm(ctx, alg, pl, sc.Suite, r.Split(), cfg)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatalf("closing trace: %v", err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	return res, trace
+}
+
+// TestWarmStartByteIdenticalToColdRun is the determinism guarantee of
+// the persistent store: a run warm-started from a previous run's store
+// must produce a byte-identical JSONL trace and the identical patch —
+// verdicts are pure functions of (program, suite), so preloading them
+// only changes which lookups pay for a suite execution, never any
+// result the search observes. The warm run must also demonstrably reuse
+// the store: warm entries loaded, and strictly fewer suite executions.
+func TestWarmStartByteIdenticalToColdRun(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "data")
+
+	st, err := store.Open(store.Options{Dir: storeDir})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	cold, coldTrace := runStored(t, t.TempDir(), st)
+	if err := st.Close(); err != nil {
+		t.Fatalf("closing store after cold run: %v", err)
+	}
+
+	st2, err := store.Open(store.Options{Dir: storeDir})
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	defer st2.Close()
+	warm, warmTrace := runStored(t, t.TempDir(), st2)
+
+	if !bytes.Equal(coldTrace, warmTrace) {
+		t.Fatalf("warm trace differs from cold trace (%d vs %d bytes)", len(warmTrace), len(coldTrace))
+	}
+	if cold.Repaired != warm.Repaired {
+		t.Fatalf("Repaired: cold %v, warm %v", cold.Repaired, warm.Repaired)
+	}
+	if len(cold.Patch) != len(warm.Patch) {
+		t.Fatalf("patch length: cold %d, warm %d", len(cold.Patch), len(warm.Patch))
+	}
+	for i := range cold.Patch {
+		if cold.Patch[i] != warm.Patch[i] {
+			t.Fatalf("patch[%d]: cold %v, warm %v", i, cold.Patch[i], warm.Patch[i])
+		}
+	}
+	if cold.Program != nil && warm.Program != nil && cold.Program.String() != warm.Program.String() {
+		t.Fatalf("repaired programs differ")
+	}
+
+	if cold.WarmEntries != 0 {
+		t.Fatalf("cold run warm-started %d entries from an empty store", cold.WarmEntries)
+	}
+	if warm.WarmEntries == 0 {
+		t.Fatalf("warm run loaded no entries from a store with records")
+	}
+	if warm.FitnessEvals >= cold.FitnessEvals {
+		t.Fatalf("warm run executed %d suite evaluations, cold %d: store reuse saved nothing",
+			warm.FitnessEvals, cold.FitnessEvals)
+	}
+}

@@ -137,6 +137,12 @@ type Metrics struct {
 	CacheHits       int64
 	DedupSuppressed int64
 	ShardContention int64
+	// WarmEntries and WarmHits mirror the runner's persistent-store
+	// warm-start accounting: cache entries preloaded from disk, and the
+	// lookups they answered — suite executions a previous run paid for.
+	// Zero when no store is attached.
+	WarmEntries int64
+	WarmHits    int64
 	// Faults is the resilience ledger: faults injected into this run and
 	// what the Timeout/Retry/Hedge policies made of them. All zero when no
 	// injector is configured.
@@ -157,6 +163,9 @@ func (m *Metrics) String() string {
 	if m.CacheHits > 0 || m.DedupSuppressed > 0 || m.ShardContention > 0 {
 		s += fmt.Sprintf(" cache(hits=%d dedup=%d contention=%d)",
 			m.CacheHits, m.DedupSuppressed, m.ShardContention)
+	}
+	if m.WarmEntries > 0 {
+		s += fmt.Sprintf(" warm(entries=%d hits=%d)", m.WarmEntries, m.WarmHits)
 	}
 	if m.Faults.Any() {
 		s += " " + m.Faults.String()
@@ -179,6 +188,8 @@ func (m *Metrics) Export(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + ".cache_hits").Set(m.CacheHits)
 	reg.Counter(prefix + ".dedup_suppressed").Set(m.DedupSuppressed)
 	reg.Counter(prefix + ".shard_contention").Set(m.ShardContention)
+	reg.Counter(prefix + ".warm_entries").Set(m.WarmEntries)
+	reg.Counter(prefix + ".warm_hits").Set(m.WarmHits)
 	reg.Gauge(prefix + ".max_congestion").Set(float64(m.MaxCongestion))
 	reg.Gauge(prefix + ".mean_congestion").Set(m.MeanCongestion())
 	reg.Gauge(prefix + ".memory_floats").Set(float64(m.MemoryFloats))

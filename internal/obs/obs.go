@@ -74,11 +74,15 @@ const (
 	// TypeStall marks an update cycle wedged by a silent unresolved
 	// failure on a barriered learner: CPU burned, no update applied.
 	TypeStall Type = "stall"
-	// TypeCache is a cumulative fitness-cache sample: N probes answered
-	// from cache so far. Deduplication and shard contention are properties
-	// of the physical execution (they vary with worker interleaving), so
-	// they are exported through the Registry, never through the
-	// deterministic event stream.
+	// TypeCache is a cumulative fitness-cache sample: N completed probe
+	// lookups so far (cache hits plus executed evaluations). The sum —
+	// rather than the raw hit count — is what keeps the stream
+	// deterministic: it is invariant across worker counts and across
+	// cache warmth, since a store-warmed cache converts evaluations into
+	// hits one for one. Deduplication, shard contention and the hit/eval
+	// split are properties of the physical execution, so they are
+	// exported through the Registry, never through the deterministic
+	// event stream.
 	TypeCache Type = "cache"
 	// TypeConv is the per-iteration convergence check: Leader, Prob, and
 	// Kind ("converged" once the criterion holds).

@@ -1,0 +1,74 @@
+// Store integration: persisting a built pool's mutations as durable
+// records and rebuilding a pool from them, replacing ad-hoc JSON pool
+// files with the crash-safe pack store. Pool records are keyed by
+// (original-program hash, positive-suite fingerprint): safety is judged
+// against positive tests only (Sec. III-C — the pool is reusable across
+// future bugs), so the safety suite, not the full suite, is the identity.
+package pool
+
+import (
+	"repro/internal/lang"
+	"repro/internal/mutation"
+	"repro/internal/store"
+	"repro/internal/testsuite"
+)
+
+// safetyKey returns the store key of a pool: the program identity and
+// the fingerprint of the positive-only suite its safety was judged
+// against.
+func safetyKey(p *lang.Program, suite *testsuite.Suite) (prog, fp uint64) {
+	pos := &testsuite.Suite{Positive: suite.Positive}
+	return testsuite.ProgramKey(p), pos.Fingerprint()
+}
+
+// Persist writes every pool mutation into the store, keyed to the pool's
+// original program and the suite's positive tests. Records are
+// deduplicated by the store, so re-persisting a pool (or persisting a
+// grown pool over an earlier save) appends only the new members; the
+// stored order is first-persist order, which FromStore reproduces.
+// Returns how many records were newly written.
+func (pl *Pool) Persist(st *store.Store, suite *testsuite.Suite) int {
+	if st == nil {
+		return 0
+	}
+	prog, fp := safetyKey(pl.original, suite)
+	added := 0
+	for _, m := range pl.mutations {
+		if st.PutPool(store.PoolRecord{
+			Prog: prog, Suite: fp,
+			Op: uint8(m.Op), At: uint32(m.At), From: uint32(m.From),
+		}) {
+			added++
+		}
+	}
+	return added
+}
+
+// FromStore rebuilds the pool stored for (p, suite's positive tests), in
+// persisted order, validating every mutation against the program. It
+// returns nil when the store holds no pool for that key — callers fall
+// back to Precompute.
+func FromStore(st *store.Store, p *lang.Program, suite *testsuite.Suite) (*Pool, error) {
+	if st == nil {
+		return nil, nil
+	}
+	prog, fp := safetyKey(p, suite)
+	recs := st.PoolMutations(prog, fp)
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	muts := make([]mutation.Mutation, len(recs))
+	for i, r := range recs {
+		m := mutation.Mutation{Op: mutation.Op(r.Op), At: int(r.At), From: int(r.From)}
+		if err := m.Validate(p.Len()); err != nil {
+			return nil, err
+		}
+		muts[i] = m
+	}
+	pl := &Pool{
+		original:  p.Clone(),
+		mutations: muts,
+		stats:     Stats{Safe: len(muts), StoreHits: int64(len(muts))},
+	}
+	return pl, nil
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/testsuite"
 )
 
@@ -83,6 +84,13 @@ type Stats struct {
 	// Dropped counts candidates abandoned because their evaluation kept
 	// faulting after all retries; each is a pool entry we may have lost.
 	Dropped int64
+	// StoreHits counts safety checks answered by verdicts a previous
+	// run persisted (warm cache entries loaded from Config.Store) —
+	// precompute work avoided entirely. WarmEntries is how many stored
+	// verdicts were preloaded before the build. Both zero without a
+	// store.
+	StoreHits   int64
+	WarmEntries int64
 	// Degraded reports the build did not run to its natural end: the
 	// context was cancelled, or candidates were dropped to faults. The
 	// pool is still valid — just possibly smaller than a clean build.
@@ -113,6 +121,8 @@ func (s Stats) Export(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + ".probe_faults").Set(s.ProbeFaults)
 	reg.Counter(prefix + ".retries").Set(s.Retries)
 	reg.Counter(prefix + ".dropped").Set(s.Dropped)
+	reg.Counter(prefix + ".store_hits").Set(s.StoreHits)
+	reg.Counter(prefix + ".warm_entries").Set(s.WarmEntries)
 	reg.Gauge(prefix + ".safe_rate").Set(s.SafeRate())
 }
 
@@ -140,6 +150,13 @@ type Config struct {
 	// — deterministic at any Workers count, like the pool contents
 	// themselves.
 	Trace *obs.Tracer
+	// Store, when non-nil, warm-starts the safety-evaluation cache from
+	// previously persisted verdicts (candidates a prior build already
+	// judged are free) and persists this build's verdicts for future
+	// runs. The candidate sequence, batches, trace events and final pool
+	// are byte-identical with or without a store — only the number of
+	// suite executions changes.
+	Store *store.Store
 }
 
 func (c *Config) fill() {
@@ -179,6 +196,10 @@ func Precompute(ctx context.Context, p *lang.Program, suite *testsuite.Suite, cf
 	// Safety is judged against positive tests only.
 	posSuite := &testsuite.Suite{Positive: suite.Positive}
 	runner := testsuite.NewRunner(posSuite)
+	if cfg.Store != nil {
+		runner.AttachStore(cfg.Store)
+		runner.WarmStart()
+	}
 
 	pl := &Pool{original: p.Clone()}
 	seen := make(map[string]struct{})
@@ -280,8 +301,13 @@ func Precompute(ctx context.Context, p *lang.Program, suite *testsuite.Suite, cf
 	pl.stats.ProbeFaults = probeFaults
 	pl.stats.Retries = retries
 	pl.stats.Dropped = dropped
+	pl.stats.StoreHits = runner.WarmHits()
+	pl.stats.WarmEntries = runner.WarmEntries()
 	if dropped > 0 {
 		pl.stats.Degraded = true
+	}
+	if cfg.Store != nil {
+		pl.Persist(cfg.Store, suite)
 	}
 	return pl
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/testsuite"
 )
 
@@ -478,13 +479,31 @@ func (sc *Scenario) BuildPoolTraced(workers int, seed *rng.RNG, tr *obs.Tracer) 
 // repairers are appended even to a partial pool, so any non-empty result
 // still contains a repair.
 func (sc *Scenario) BuildPoolContext(ctx context.Context, workers int, seed *rng.RNG, tr *obs.Tracer) *pool.Pool {
+	return sc.BuildPoolStored(ctx, workers, seed, tr, nil)
+}
+
+// BuildPoolStored is BuildPoolContext backed by a persistent store: the
+// precompute safety cache warm-starts from previously persisted verdicts
+// (candidates an earlier build already judged run no tests), this
+// build's verdicts are persisted for future runs, and the finished pool
+// — canonical repairers included — is saved as durable pool records. The
+// pool contents and the phase-1 trace are byte-identical to a storeless
+// build; only Stats.StoreHits/WarmEntries and the suite-execution count
+// differ. A nil store degrades to BuildPoolContext exactly.
+func (sc *Scenario) BuildPoolStored(ctx context.Context, workers int, seed *rng.RNG, tr *obs.Tracer, st *store.Store) *pool.Pool {
 	pl := pool.Precompute(ctx, sc.Program, sc.Suite, pool.Config{
 		Target:  sc.Profile.PoolTarget,
 		Workers: workers,
 		Trace:   tr,
+		Store:   st,
 	}, seed)
 	for _, m := range sc.Repairers {
 		pl.Add(m)
+	}
+	if st != nil {
+		// Re-persist after the repairers joined so the stored pool is the
+		// complete one (Persist dedups, so only the repairers append).
+		pl.Persist(st, sc.Suite)
 	}
 	return pl
 }

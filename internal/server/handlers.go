@@ -174,9 +174,14 @@ func handleScenarios(w http.ResponseWriter, _ *http.Request) {
 }
 
 func handleHealthz(m *Manager, w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{"status": "ok"}
+	if st := m.Store(); st != nil {
+		body["store"] = st.Stats()
+	}
 	if m.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }

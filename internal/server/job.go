@@ -261,6 +261,12 @@ type Result struct {
 	Program         string              `json:"-"` // repaired source, served by the patch endpoint
 	PoolSize        int                 `json:"poolSize"`
 	PoolEvaluated   int                 `json:"poolEvaluated"`
+	// Persistence wins (zero without a daemon -store): precompute safety
+	// checks answered from the shared store, cache entries warm-started
+	// into the online phase, and lookups those entries answered.
+	PoolStoreHits int64 `json:"poolStoreHits,omitempty"`
+	WarmEntries   int64 `json:"warmEntries,omitempty"`
+	WarmHits      int64 `json:"warmHits,omitempty"`
 }
 
 // Status is the GET /v1/jobs/{id} response body.

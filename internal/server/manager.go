@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Config sizes the manager.
@@ -64,6 +65,14 @@ type Config struct {
 	// running-job gauge, and a job-latency histogram. Nil creates a
 	// private one.
 	Registry *obs.Registry
+	// Store, when non-nil, is the persistent evaluation store every job
+	// shares: pool builds and online repairs warm-start from it and
+	// persist their verdicts into it, so repeated scenarios (and daemon
+	// restarts over the same data dir) skip suite executions earlier jobs
+	// already paid for. Job results stay byte-identical to storeless
+	// runs. The daemon owns the store's lifecycle; the manager only uses
+	// it.
+	Store *store.Store
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -142,6 +151,10 @@ type Manager struct {
 	completed, failed, cancelledJobs *obs.Counter
 	queueDepth, runningGauge         *obs.Gauge
 	latency                          *obs.Histogram
+	// Cross-job persistence accounting (zero without Config.Store):
+	// cumulative precompute safety checks answered from the store and
+	// online cache entries warm-started from it.
+	storeHits, warmEntries *obs.Counter
 }
 
 // NewManager builds a manager and starts its worker fleet.
@@ -160,6 +173,8 @@ func NewManager(cfg Config) *Manager {
 		runningGauge:  cfg.Registry.Gauge("server.jobs.running"),
 		latency: cfg.Registry.Histogram("server.job.latency_ms",
 			[]float64{1, 10, 100, 1000, 10_000, 60_000, 600_000}),
+		storeHits:   cfg.Registry.Counter("pool.store_hits"),
+		warmEntries: cfg.Registry.Counter("cache.warm_entries"),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -465,6 +480,29 @@ func (m *Manager) runJob(j *Job) {
 	}
 }
 
+// Store returns the shared persistent store, nil when the daemon runs
+// without one.
+func (m *Manager) Store() *store.Store { return m.cfg.Store }
+
+// exportStoreStats publishes the shared store's current state under
+// "server.store." so /debug/metrics tracks persistence alongside the job
+// counters. Called after each store-backed job; cheap (a directory
+// listing plus atomic reads).
+func (m *Manager) exportStoreStats() {
+	st := m.cfg.Store.Stats()
+	reg := m.cfg.Registry
+	reg.Counter("server.store.packs").Set(int64(st.Packs))
+	reg.Counter("server.store.quarantined_packs").Set(int64(st.QuarantinedPacks))
+	reg.Counter("server.store.eval_records").Set(int64(st.EvalRecords))
+	reg.Counter("server.store.pool_records").Set(int64(st.PoolRecords))
+	reg.Counter("server.store.bytes").Set(st.Bytes)
+	reg.Counter("server.store.appends").Set(st.Appends)
+	reg.Counter("server.store.superseded").Set(st.Superseded)
+	reg.Counter("server.store.dropped").Set(st.Dropped)
+	reg.Counter("server.store.snapshots").Set(st.Snapshots)
+	reg.Counter("server.store.compactions").Set(st.Compactions)
+}
+
 // runningCount counts non-terminal, non-queued jobs (for the gauge).
 func (m *Manager) runningCount() float64 {
 	m.mu.Lock()
@@ -518,7 +556,7 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 
 	// Phase 1 + phase 2, with cmd/mwrepair's exact RNG split discipline.
 	r := rng.New(spec.Seed)
-	pl := sc.BuildPoolContext(ctx, spec.Workers, r.Split(), tracer)
+	pl := sc.BuildPoolStored(ctx, spec.Workers, r.Split(), tracer, m.cfg.Store)
 	st := pl.Stats()
 	if pl.Size() == 0 {
 		if ctx.Err() != nil {
@@ -534,6 +572,7 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 		StragglerCutoff: spec.Cutoff,
 		Trace:           tracer,
 		OnProgress:      j.setProgress,
+		Store:           m.cfg.Store,
 	}
 	if spec.FaultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(spec.Seed, spec.FaultRate))
@@ -574,6 +613,16 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 		Degraded:        res.Degraded,
 		PoolSize:        pl.Size(),
 		PoolEvaluated:   st.Evaluated,
+		PoolStoreHits:   st.StoreHits,
+		WarmEntries:     res.WarmEntries,
+		WarmHits:        res.WarmHits,
+	}
+	if m.cfg.Store != nil {
+		// Accumulate cross-job persistence wins and refresh the store
+		// gauges the /debug/metrics and /healthz endpoints serve.
+		m.storeHits.Add(st.StoreHits)
+		m.warmEntries.Add(res.WarmEntries)
+		m.exportStoreStats()
 	}
 	if res.Faults.Any() {
 		out.Faults = res.Faults.String()

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestStoreSharedAcrossJobs is the daemon-side warm-start guarantee: two
+// identical jobs against one manager-owned store must produce identical
+// results, with the second job warm-starting from the first job's
+// recorded verdicts — fewer suite executions, same patch, and the
+// manager's pool.store_hits / cache.warm_entries counters advancing.
+func TestStoreSharedAcrossJobs(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: filepath.Join(t.TempDir(), "data")})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	defer st.Close()
+
+	reg := obs.NewRegistry()
+	m := NewManager(Config{Workers: 1, QueueDepth: 4, Registry: reg, Store: st})
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(sctx)
+	}()
+
+	spec := Spec{Scenario: "lighttpd-1806-1807", Seed: 3, Workers: 4, MaxIter: 500}
+	run := func() *Result {
+		j, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("job stuck in %s", j.State())
+		}
+		if j.State() != StateDone {
+			t.Fatalf("job finished %s, want done", j.State())
+		}
+		return j.Result()
+	}
+
+	first := run()
+	second := run()
+
+	// Identical outcome — warm-starting never changes results.
+	if first.Repaired != second.Repaired {
+		t.Fatalf("repaired: first %v, second %v", first.Repaired, second.Repaired)
+	}
+	if first.Iterations != second.Iterations || first.Probes != second.Probes {
+		t.Fatalf("run shape diverged: first %d iter/%d probes, second %d/%d",
+			first.Iterations, first.Probes, second.Iterations, second.Probes)
+	}
+	if len(first.Patch) != len(second.Patch) {
+		t.Fatalf("patch length: first %d, second %d", len(first.Patch), len(second.Patch))
+	}
+	for i := range first.Patch {
+		if first.Patch[i] != second.Patch[i] {
+			t.Fatalf("patch[%d]: first %+v, second %+v", i, first.Patch[i], second.Patch[i])
+		}
+	}
+	if first.Program != second.Program {
+		t.Fatal("repaired programs differ")
+	}
+
+	// The second job actually reused the store.
+	if first.WarmEntries != 0 {
+		t.Fatalf("first job warm-started %d entries from an empty store", first.WarmEntries)
+	}
+	if second.WarmEntries == 0 {
+		t.Fatal("second job loaded no warm entries from a populated store")
+	}
+	if second.PoolStoreHits == 0 {
+		t.Fatal("second job's pool build reused no store verdicts")
+	}
+	if second.FitnessEvals >= first.FitnessEvals {
+		t.Fatalf("second job executed %d suite evaluations, first %d: store reuse saved nothing",
+			second.FitnessEvals, first.FitnessEvals)
+	}
+
+	// Manager-level counters and store stats exported.
+	if got := reg.Counter("cache.warm_entries").Value(); got != second.WarmEntries {
+		t.Fatalf("cache.warm_entries = %d, want %d", got, second.WarmEntries)
+	}
+	if got := reg.Counter("pool.store_hits").Value(); got != second.PoolStoreHits {
+		t.Fatalf("pool.store_hits = %d, want %d", got, second.PoolStoreHits)
+	}
+	if got := reg.Counter("server.store.eval_records").Value(); got == 0 {
+		t.Fatal("server.store.eval_records not exported")
+	}
+}

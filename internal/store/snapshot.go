@@ -1,0 +1,133 @@
+// Index snapshots: a point-in-time serialization of the in-memory index
+// so Open can skip re-scanning the pack history before a known point.
+// The snapshot is advisory — if it is missing, stale, or corrupt, Open
+// silently falls back to a full pack scan, so a snapshot can never lose
+// data or serve bytes the packs don't back.
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// snapshotName is the single snapshot file per store directory; it is
+// replaced atomically (temp file + rename) on every snapshot.
+const snapshotName = "index.snap"
+
+// snapshotMagic versions the snapshot format independently of packs.
+const snapshotMagic = "MWSNAP01"
+
+// snapshot is the serialized index state.
+//
+// Layout (all integers LE):
+//
+//	magic       8 bytes "MWSNAP01"
+//	appliedSeq  uint64 — pack history is folded in up to...
+//	appliedOff  uint64 — ...this offset of this pack
+//	nEvals      uint64
+//	nPools      uint64
+//	evals       nEvals × recordSize (encoded eval records, sorted by key)
+//	pools       nPools × recordSize (encoded pool records, key-grouped,
+//	                                 persisted order within a key)
+//	crc         uint32 — CRC32C of everything above
+type snapshot struct {
+	appliedSeq uint64
+	appliedOff int64
+	evals      []EvalRecord
+	pools      []PoolRecord
+}
+
+// writeSnapshot serializes snap to path atomically: temp file in the
+// same directory, fsync, rename, fsync the directory.
+func writeSnapshot(path string, snap snapshot) error {
+	buf := make([]byte, 0, 40+(len(snap.evals)+len(snap.pools))*recordSize+4)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, snap.appliedSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(snap.appliedOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(snap.evals)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(snap.pools)))
+	for _, e := range snap.evals {
+		buf = evalToRecord(e).encode(buf)
+	}
+	for _, p := range snap.pools {
+		buf = poolToRecord(p).encode(buf)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck — best-effort directory durability
+		d.Close()
+	}
+	return nil
+}
+
+// loadSnapshot reads and validates a snapshot. Any failure — missing
+// file, bad magic, short read, CRC mismatch, corrupt embedded record —
+// returns ok=false and the caller falls back to a full scan.
+func loadSnapshot(path string) (snapshot, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, false
+	}
+	if len(buf) < len(snapshotMagic)+32+4 || string(buf[:len(snapshotMagic)]) != snapshotMagic {
+		return snapshot{}, false
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return snapshot{}, false
+	}
+	rd := body[len(snapshotMagic):]
+	snap := snapshot{
+		appliedSeq: binary.LittleEndian.Uint64(rd[0:]),
+		appliedOff: int64(binary.LittleEndian.Uint64(rd[8:])),
+	}
+	nEvals := binary.LittleEndian.Uint64(rd[16:])
+	nPools := binary.LittleEndian.Uint64(rd[24:])
+	rd = rd[32:]
+	if uint64(len(rd)) != (nEvals+nPools)*recordSize {
+		return snapshot{}, false
+	}
+	for i := uint64(0); i < nEvals; i++ {
+		rec, err := decodeRecord(rd[:recordSize])
+		if err != nil || rec.kind != KindEval {
+			return snapshot{}, false
+		}
+		snap.evals = append(snap.evals, recordToEval(rec))
+		rd = rd[recordSize:]
+	}
+	for i := uint64(0); i < nPools; i++ {
+		rec, err := decodeRecord(rd[:recordSize])
+		if err != nil || rec.kind != KindPool {
+			return snapshot{}, false
+		}
+		snap.pools = append(snap.pools, recordToPool(rec))
+		rd = rd[recordSize:]
+	}
+	return snap, true
+}

@@ -1,0 +1,189 @@
+package testsuite
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/store"
+)
+
+// The store's on-disk knowledge-level constants must stay in lockstep
+// with this package's cache ladder: warm start copies them verbatim.
+func TestStoreLevelConstantsMatchCacheLadder(t *testing.T) {
+	if store.LevelNone != levelNone || store.LevelSafe != levelSafe ||
+		store.LevelOutcome != levelOutcome || store.LevelFitness != levelFitness {
+		t.Fatalf("store levels (%d %d %d %d) diverged from cache levels (%d %d %d %d)",
+			store.LevelNone, store.LevelSafe, store.LevelOutcome, store.LevelFitness,
+			levelNone, levelSafe, levelOutcome, levelFitness)
+	}
+}
+
+func TestSuiteFingerprintSensitivity(t *testing.T) {
+	base := sumSuite()
+	fp := base.Fingerprint()
+	if fp != sumSuite().Fingerprint() {
+		t.Fatal("identical suites fingerprint differently")
+	}
+	// Any semantic change must move the fingerprint.
+	mut := sumSuite()
+	mut.Positive[0].Want[0]++
+	if mut.Fingerprint() == fp {
+		t.Fatal("changed expectation kept the fingerprint")
+	}
+	mut = sumSuite()
+	mut.Positive[2].MaxSteps = 99
+	if mut.Fingerprint() == fp {
+		t.Fatal("changed step bound kept the fingerprint")
+	}
+	// Moving a test between sections changes repair semantics.
+	mut = sumSuite()
+	mut.Negative = append(mut.Negative, mut.Positive[2])
+	mut.Positive = mut.Positive[:2]
+	if mut.Fingerprint() == fp {
+		t.Fatal("pos/neg split change kept the fingerprint")
+	}
+	// Reordering keys new records (conservative by design).
+	mut = sumSuite()
+	mut.Positive[0], mut.Positive[1] = mut.Positive[1], mut.Positive[0]
+	if mut.Fingerprint() == fp {
+		t.Fatal("reordering kept the fingerprint")
+	}
+}
+
+func TestRunnerPersistsAndWarmStarts(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	suite := sumSuite()
+	good := lang.MustParse(sumSrc)
+	buggy := lang.MustParse(buggySumSrc)
+
+	// First runner computes and persists.
+	r1 := NewRunner(suite)
+	r1.AttachStore(st)
+	f := r1.Eval(context.Background(), good)
+	r1.Safe(buggy)
+	if r1.WarmEntries() != 0 || r1.WarmHits() != 0 {
+		t.Fatalf("cold runner reports warm activity: %d/%d", r1.WarmEntries(), r1.WarmHits())
+	}
+	if got, ok := st.GetEval(ProgramKey(good), suite.Fingerprint()); !ok {
+		t.Fatal("completed Eval was not persisted")
+	} else if got.Level != store.LevelFitness || !got.Repair ||
+		int(got.PosPassed) != f.PosPassed || int(got.NegTotal) != f.NegTotal {
+		t.Fatalf("persisted record %+v does not match fitness %+v", got, f)
+	}
+	if got, ok := st.GetEval(ProgramKey(buggy), suite.Fingerprint()); !ok || got.Level != store.LevelSafe {
+		t.Fatalf("Safe() persisted %+v, %v; want LevelSafe record", got, ok)
+	}
+
+	// Second runner warm-starts and answers without executing the suite.
+	r2 := NewRunner(suite)
+	r2.AttachStore(st)
+	if n := r2.WarmStart(); n != 2 {
+		t.Fatalf("WarmStart loaded %d entries, want 2", n)
+	}
+	if r2.WarmEntries() != 2 {
+		t.Fatalf("WarmEntries = %d, want 2", r2.WarmEntries())
+	}
+	f2 := r2.Eval(context.Background(), good)
+	if f2 != f {
+		t.Fatalf("warm Eval = %+v, cold = %+v", f2, f)
+	}
+	if r2.Safe(buggy) != r1.Safe(buggy) {
+		t.Fatal("warm Safe disagrees with cold Safe")
+	}
+	if r2.Evals() != 0 {
+		t.Fatalf("warm runner executed %d suite evaluations, want 0", r2.Evals())
+	}
+	if r2.WarmHits() < 2 {
+		t.Fatalf("WarmHits = %d, want >= 2", r2.WarmHits())
+	}
+	// Lookups is invariant: cold paid 2 evals + 0 hits pre-Safe-recheck;
+	// just assert hits+evals consistency per runner.
+	if r2.Lookups() != r2.CacheHits()+r2.Evals() {
+		t.Fatal("Lookups != CacheHits + Evals")
+	}
+}
+
+func TestWarmStartStaleFingerprintLoadsNothing(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	suite := sumSuite()
+	r1 := NewRunner(suite)
+	r1.AttachStore(st)
+	r1.Eval(context.Background(), lang.MustParse(sumSrc))
+	r1.Eval(context.Background(), lang.MustParse(buggySumSrc))
+
+	// Same programs, changed suite: the stored verdicts are stale and
+	// must not leak into the new cache.
+	changed := sumSuite()
+	changed.Negative[0].Want[0]++
+	r2 := NewRunner(changed)
+	r2.AttachStore(st)
+	if n := r2.WarmStart(); n != 0 {
+		t.Fatalf("WarmStart against a changed suite loaded %d entries, want 0", n)
+	}
+	if r2.WarmEntries() != 0 {
+		t.Fatalf("WarmEntries = %d, want 0", r2.WarmEntries())
+	}
+	// The runner recomputes under the new suite rather than serving
+	// stale verdicts.
+	r2.Eval(context.Background(), lang.MustParse(sumSrc))
+	if r2.Evals() != 1 {
+		t.Fatalf("stale-fingerprint runner executed %d evals, want 1", r2.Evals())
+	}
+	if r2.WarmHits() != 0 {
+		t.Fatalf("WarmHits = %d on a stale-fingerprint runner", r2.WarmHits())
+	}
+}
+
+func TestWarmStartWithoutStoreIsNoop(t *testing.T) {
+	r := NewRunner(sumSuite())
+	if n := r.WarmStart(); n != 0 {
+		t.Fatalf("WarmStart without a store loaded %d", n)
+	}
+}
+
+func TestWarmEntryUpgradeClearsWarmAndPersists(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	suite := sumSuite()
+	buggy := lang.MustParse(buggySumSrc)
+
+	// Persist only safety knowledge.
+	r1 := NewRunner(suite)
+	r1.AttachStore(st)
+	r1.Safe(buggy)
+
+	// Warm runner asks for full fitness: the warm LevelSafe entry cannot
+	// answer, so it computes (one eval), upgrades the entry, and persists
+	// the higher level.
+	r2 := NewRunner(suite)
+	r2.AttachStore(st)
+	if n := r2.WarmStart(); n != 1 {
+		t.Fatalf("WarmStart = %d, want 1", n)
+	}
+	r2.Eval(context.Background(), buggy)
+	if r2.Evals() != 1 {
+		t.Fatalf("Evals = %d, want 1 (LevelSafe cannot answer fitness)", r2.Evals())
+	}
+	rec, ok := st.GetEval(ProgramKey(buggy), suite.Fingerprint())
+	if !ok || rec.Level != store.LevelFitness {
+		t.Fatalf("upgrade not persisted: %+v, %v", rec, ok)
+	}
+	// Subsequent hits on the upgraded entry are local, not warm.
+	before := r2.WarmHits()
+	r2.Eval(context.Background(), buggy)
+	if r2.WarmHits() != before {
+		t.Fatal("hit on a locally upgraded entry still counted as warm")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lang"
+	"repro/internal/store"
 )
 
 // Test is one test case: an input vector and the expected output vector.
@@ -134,6 +135,10 @@ type cacheEntry struct {
 	safe    bool
 	repair  bool
 	fitness Fitness
+	// warm marks an entry preloaded from the persistent store by
+	// WarmStart; hits on warm entries are evaluations a previous run paid
+	// for. Cleared when local computation upgrades the entry.
+	warm bool
 
 	inflight [levelFitness + 1]chan struct{}
 }
@@ -170,6 +175,13 @@ type Runner struct {
 
 	evals      atomic.Int64 // fitness evaluations actually executed
 	contention atomic.Int64 // shard write-lock acquisitions that had to wait
+
+	// Optional persistence (persist.go): completed evaluations are
+	// written behind to store, and WarmStart preloads the cache from it.
+	store       *store.Store
+	suiteFP     uint64       // suite.Fingerprint(), set by AttachStore
+	warmEntries atomic.Int64 // cache entries preloaded by WarmStart
+	warmHits    atomic.Int64 // cache hits answered by warm entries
 }
 
 // NewRunner creates a runner over the suite.
@@ -232,8 +244,12 @@ func (r *Runner) evalAt(key uint64, level uint8, compute func() (probeResult, bo
 		sh.mu.RLock()
 		if e, ok := sh.entries[key]; ok && answered(e, level) {
 			res := resultOf(e)
+			warm := e.warm
 			sh.mu.RUnlock()
 			sh.hits.Add(1)
+			if warm {
+				r.warmHits.Add(1)
+			}
 			return res
 		}
 		sh.mu.RUnlock()
@@ -249,8 +265,12 @@ func (r *Runner) evalAt(key uint64, level uint8, compute func() (probeResult, bo
 		}
 		if answered(e, level) {
 			res := resultOf(e)
+			warm := e.warm
 			sh.mu.Unlock()
 			sh.hits.Add(1)
+			if warm {
+				r.warmHits.Add(1)
+			}
 			return res
 		}
 		// Join an in-flight computation that will reach the needed level.
@@ -288,15 +308,21 @@ func (r *Runner) evalAt(key uint64, level uint8, compute func() (probeResult, bo
 		}
 
 		r.lockShard(sh)
+		advanced := false
 		if complete && level > e.level {
 			e.level = level
 			e.safe = res.safe
 			e.repair = res.repair
 			e.fitness = res.fitness
+			e.warm = false // locally computed now; no longer store-derived
+			advanced = true
 		}
 		e.inflight[level] = nil
 		sh.mu.Unlock()
 		close(ch)
+		if advanced {
+			r.persist(key, level, res)
+		}
 		return res
 	}
 }
