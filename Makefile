@@ -7,6 +7,8 @@
 #   make trace       mwrepair -trace smoke + JSONL schema check
 #   make daemon-smoke mwrepaird process-level smoke: job over HTTP, CLI byte-identity, SIGTERM drain
 #   make store       persistent-store gate: corruption recovery + warm-start determinism under -race, write-behind overhead bound
+#   make servebench  service-level smoke: repairbench closed-loop sweep vs an in-process daemon + BENCH_SERVE schema gate
+#   make servebench-full the full sweep, frozen into $(SERVE_OUT) (BENCH_SERVE.json)
 #   make bench       sampling + tracing-overhead + store benchmarks at fixed -benchtime -> $(BENCH_OUT)
 #   make bench-smoke sampling benchmarks at -benchtime=100x (fast CI gate)
 #   make bench-probe probe-path benchmarks (cache throughput, dedup, pool)
@@ -24,9 +26,12 @@ BENCH_OUT ?= BENCH_PR7.json
 # PR-1 cache hot-path benchmarks (sharded vs mutex, dedup).
 SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|BenchmarkRunnerCacheHitThroughput|BenchmarkRunnerDuplicateProbeThroughput|BenchmarkAblationDedupCache
 
-.PHONY: ci vet build test race chaos trace daemon-smoke store bench bench-smoke bench-probe bench-all
+# Where `make servebench-full` writes the committed service-level record.
+SERVE_OUT ?= BENCH_SERVE.json
 
-ci: vet build race bench-smoke chaos trace daemon-smoke store
+.PHONY: ci vet build test race chaos trace daemon-smoke store servebench servebench-full bench bench-smoke bench-probe bench-all
+
+ci: vet build race bench-smoke chaos trace daemon-smoke store servebench
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +79,30 @@ store:
 	$(GO) test -race -run 'Corrupt|Quarantine|Truncat|Duplicate|Audit|Snapshot|WarmStart|StoreShared' \
 		./internal/store ./internal/testsuite ./internal/core ./internal/server
 	STORE_BENCH=1 $(GO) test -count=1 -run TestProbeWriteBehindOverheadGate .
+
+# Service-level smoke (<60s): a short closed-loop sweep — two workload
+# mixes at three client-concurrency levels against an in-process daemon
+# with a fresh store and a deliberately sub-second -retry-after (the
+# truncation bug rendered that as "Retry-After: 0") — then the schema +
+# honesty gate: valid BENCH_SERVE shape, completions in every cell, zero
+# hot-spin retries.
+servebench:
+	rm -rf /tmp/servebench-store
+	$(GO) run ./cmd/repairbench -workloads cheap,heavy -concurrency 1,2,4 \
+		-duration 1500ms -retry-after 500ms -store /tmp/servebench-store \
+		-o /tmp/bench-serve-smoke.json
+	$(GO) run ./cmd/benchjson -validate-serve /tmp/bench-serve-smoke.json
+
+# The full service sweep frozen into $(SERVE_OUT) so the serving-path
+# trajectory is tracked like BENCH_PR2/PR5/PR7: four workload mixes
+# (cheap custom-source, suite-heavy, warm-store, fault-injected) at four
+# closed-loop concurrency levels plus an open-loop rate sweep.
+servebench-full:
+	rm -rf /tmp/servebench-store
+	$(GO) run ./cmd/repairbench -workloads cheap,heavy,warm,faulty \
+		-mode both -concurrency 1,2,4,8 -rates 6,12 -duration 4s \
+		-store /tmp/servebench-store -o $(SERVE_OUT)
+	$(GO) run ./cmd/benchjson -validate-serve $(SERVE_OUT)
 
 # The probe-evaluation hot path: sharded cache-hit throughput vs the
 # single-mutex baseline, singleflight dedup, cached-vs-uncached ablation,

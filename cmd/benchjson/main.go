@@ -100,6 +100,105 @@ func validateResilience(path string) error {
 	return nil
 }
 
+// validateServe schema-checks a repairbench BENCH_SERVE.json export: the
+// `make servebench` smoke's gate that the service-level benchmark stays
+// machine-readable AND honest — every sweep cell must have completed
+// jobs, the full latency decomposition, and zero hot-spin retries (a
+// 429/503 whose Retry-After the client could not honor because the
+// server sent none).
+func validateServe(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Schema string                       `json:"schema"`
+		Target string                       `json:"target"`
+		Runs   []map[string]json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("%s: not a repairbench report: %w", path, err)
+	}
+	if doc.Schema != "repairbench/v1" {
+		return fmt.Errorf("%s: schema %q, want repairbench/v1", path, doc.Schema)
+	}
+	if len(doc.Runs) == 0 {
+		return fmt.Errorf("%s: no runs", path)
+	}
+	required := []string{
+		"workload", "mode", "durationS", "submitted", "completed", "repaired",
+		"failed", "cancelled", "rejected429", "rejected503", "retries",
+		"hotSpins", "backoffWaitMs", "jobsPerSec", "repairsPerSec", "latencyMs",
+	}
+	workloads := map[string]bool{}
+	closedLevels := map[int]bool{}
+	for i, run := range doc.Runs {
+		for _, key := range required {
+			if _, ok := run[key]; !ok {
+				return fmt.Errorf("%s: run %d missing key %q", path, i, key)
+			}
+		}
+		var cell struct {
+			Workload    string  `json:"workload"`
+			Mode        string  `json:"mode"`
+			Concurrency int     `json:"concurrency"`
+			OfferedRPS  float64 `json:"offeredRps"`
+			Completed   int     `json:"completed"`
+			HotSpins    int64   `json:"hotSpins"`
+			JobsPerSec  float64 `json:"jobsPerSec"`
+			LatencyMs   map[string]struct {
+				N   int      `json:"n"`
+				P50 *float64 `json:"p50"`
+				P95 *float64 `json:"p95"`
+				P99 *float64 `json:"p99"`
+			} `json:"latencyMs"`
+		}
+		raw, _ := json.Marshal(run)
+		if err := json.Unmarshal(raw, &cell); err != nil {
+			return fmt.Errorf("%s: run %d: %w", path, i, err)
+		}
+		label := fmt.Sprintf("run %d (%s/%s)", i, cell.Workload, cell.Mode)
+		switch cell.Mode {
+		case "closed":
+			if cell.Concurrency < 1 {
+				return fmt.Errorf("%s: %s: closed run without a concurrency level", path, label)
+			}
+			closedLevels[cell.Concurrency] = true
+		case "open":
+			if cell.OfferedRPS <= 0 {
+				return fmt.Errorf("%s: %s: open run without an offered rate", path, label)
+			}
+		default:
+			return fmt.Errorf("%s: %s: unknown mode", path, label)
+		}
+		workloads[cell.Workload] = true
+		if cell.Completed == 0 || cell.JobsPerSec <= 0 {
+			return fmt.Errorf("%s: %s: no completed jobs", path, label)
+		}
+		if cell.HotSpins != 0 {
+			return fmt.Errorf("%s: %s: %d hot-spin retries — the daemon sent a 429/503 without a usable Retry-After", path, label, cell.HotSpins)
+		}
+		for _, dim := range []string{"queueWait", "exec", "e2e"} {
+			lat, ok := cell.LatencyMs[dim]
+			if !ok {
+				return fmt.Errorf("%s: %s: latencyMs missing %q", path, label, dim)
+			}
+			if lat.N == 0 || lat.P50 == nil || lat.P95 == nil || lat.P99 == nil {
+				return fmt.Errorf("%s: %s: latencyMs[%s] incomplete (want n>0 with p50/p95/p99)", path, label, dim)
+			}
+		}
+	}
+	if len(workloads) < 2 {
+		return fmt.Errorf("%s: only %d workload mix(es); the sweep needs >= 2", path, len(workloads))
+	}
+	if len(closedLevels) > 0 && len(closedLevels) < 3 {
+		return fmt.Errorf("%s: only %d closed-loop concurrency level(s); the sweep needs >= 3", path, len(closedLevels))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d runs (%d workloads, %d closed levels), schema ok, zero hot-spins\n",
+		path, len(doc.Runs), len(workloads), len(closedLevels))
+	return nil
+}
+
 // validateTrace schema-checks a -trace JSONL event stream against the
 // internal/obs contract (known event types, dense sequence numbers,
 // non-negative coordinates) — the `make trace` smoke's validator.
@@ -153,10 +252,18 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	resilienceFile := flag.String("validate-resilience", "", "validate an `experiments -resilience -json` export instead of converting benchmarks")
 	traceFile := flag.String("validate-trace", "", "validate a -trace JSONL event stream instead of converting benchmarks")
+	serveFile := flag.String("validate-serve", "", "validate a repairbench BENCH_SERVE.json report instead of converting benchmarks")
 	flag.Parse()
 
 	if *resilienceFile != "" {
 		if err := validateResilience(*resilienceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveFile != "" {
+		if err := validateServe(*serveFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHarnessClosedLoopInProcess runs a miniature sweep cell against an
+// in-process daemon: the full submit → backoff → await → sample path,
+// asserting the report invariants the BENCH_SERVE schema validator
+// enforces (completions, latency decomposition, zero hot-spins).
+func TestHarnessClosedLoopInProcess(t *testing.T) {
+	url, stop, err := startDaemon(daemonOpts{
+		workers:    2,
+		queueDepth: 8,
+		retryAfter: 500 * time.Millisecond, // sub-second: exercises the rounding fix
+		logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("startDaemon: %v", err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("daemon stop: %v", err)
+		}
+	}()
+
+	c := &client{
+		base:            url,
+		hc:              &http.Client{Timeout: 10 * time.Second},
+		poll:            time.Millisecond,
+		fallbackBackoff: 50 * time.Millisecond,
+	}
+	var cheap workload
+	for _, w := range workloads {
+		if w.name == "cheap" {
+			cheap = w
+		}
+	}
+	rep, err := runOne(context.Background(), c, runOpts{
+		workload:    cheap,
+		mode:        "closed",
+		concurrency: 2,
+		duration:    400 * time.Millisecond,
+		maxJobs:     6,
+		jobTimeout:  "30s",
+		baseSeed:    7,
+		awaitGrace:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("runOne: %v", err)
+	}
+
+	if rep.Completed == 0 || rep.Repaired == 0 {
+		t.Fatalf("no completions: %+v", rep)
+	}
+	if rep.Completed > 6 {
+		t.Fatalf("maxJobs cap ignored: %d completed", rep.Completed)
+	}
+	if rep.HotSpins != 0 {
+		t.Fatalf("hot-spins against a fixed server: %d", rep.HotSpins)
+	}
+	if rep.JobsPerSec <= 0 || rep.RepairsPerSec <= 0 {
+		t.Fatalf("throughput not computed: %+v", rep)
+	}
+	for _, key := range []string{"queueWait", "exec", "e2e"} {
+		s, ok := rep.LatencyMs[key]
+		if !ok || s.N != rep.Completed {
+			t.Fatalf("latencyMs[%s] = %+v, want n=%d", key, s, rep.Completed)
+		}
+		if s.P50 < 0 || s.P95 < s.P50 || s.P99 < s.P95 || s.Max < s.P99 {
+			t.Fatalf("latencyMs[%s] percentiles not monotone: %+v", key, s)
+		}
+	}
+	// The in-process daemon serves /debug/metrics, so the server-side
+	// cross-check must be present and count the same completions.
+	ss, ok := rep.ServerLatencyMs["exec"]
+	if !ok {
+		t.Fatalf("serverLatencyMs missing: %+v", rep.ServerLatencyMs)
+	}
+	if ss.N != rep.Completed {
+		t.Fatalf("server histogram saw %d jobs, client saw %d", ss.N, rep.Completed)
+	}
+	// e2e >= exec >= 0 in aggregate: the decomposition is ordered.
+	if rep.LatencyMs["e2e"].P50 < rep.LatencyMs["exec"].P50 {
+		t.Fatalf("e2e p50 %v < exec p50 %v", rep.LatencyMs["e2e"].P50, rep.LatencyMs["exec"].P50)
+	}
+}
+
+// TestHarnessBackpressureAccounting saturates a deliberately tiny daemon
+// (one worker, depth-1 queue) and asserts rejected submits are accounted
+// as backpressure — waited-out retries, not failures or hot-spins.
+func TestHarnessBackpressureAccounting(t *testing.T) {
+	url, stop, err := startDaemon(daemonOpts{
+		workers:    1,
+		queueDepth: 1,
+		retryAfter: time.Second,
+		logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("startDaemon: %v", err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("daemon stop: %v", err)
+		}
+	}()
+
+	c := &client{
+		base:            url,
+		hc:              &http.Client{Timeout: 10 * time.Second},
+		poll:            time.Millisecond,
+		fallbackBackoff: 50 * time.Millisecond,
+	}
+	var heavy workload
+	for _, w := range workloads {
+		if w.name == "heavy" {
+			heavy = w
+		}
+	}
+	rep, err := runOne(context.Background(), c, runOpts{
+		workload:    heavy,
+		mode:        "closed",
+		concurrency: 6,
+		duration:    700 * time.Millisecond,
+		jobTimeout:  "30s",
+		baseSeed:    3,
+		awaitGrace:  60 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("runOne: %v", err)
+	}
+	if rep.Rejected429 == 0 {
+		t.Fatalf("six closed-loop workers against a depth-1 queue produced no 429s: %+v", rep)
+	}
+	if rep.Retries < rep.Rejected429 {
+		t.Fatalf("retries %d < rejections %d: rejected submits were dropped, not retried",
+			rep.Retries, rep.Rejected429)
+	}
+	if rep.HotSpins != 0 {
+		t.Fatalf("%d hot-spins: some 429 carried no usable Retry-After", rep.HotSpins)
+	}
+	// Each retry waited >= the server's whole-second Retry-After.
+	if minWait := float64(rep.Retries) * 1000; rep.BackoffWaitMs < minWait {
+		t.Fatalf("backoff wait %.0fms < %d retries x 1000ms", rep.BackoffWaitMs, rep.Retries)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("rejected submits leaked into failures: %+v", rep)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// client drives one daemon over HTTP and keeps the sweep-wide
+// backpressure ledger. All methods are safe for concurrent use; the
+// counters are reset per run by the load generator taking deltas.
+type client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+
+	// fallbackBackoff is how long to wait after a 429/503 that carried no
+	// usable Retry-After. Such responses are counted as hot-spins — the
+	// harness refuses to actually spin, but it reports that the server
+	// invited it to.
+	fallbackBackoff time.Duration
+
+	rejected429, rejected503 atomic.Int64
+	retries, hotSpins        atomic.Int64
+	backoffNs                atomic.Int64
+}
+
+// ledger is a point-in-time copy of the backpressure counters.
+type ledger struct {
+	rejected429, rejected503, retries, hotSpins int64
+	backoffNs                                   int64
+}
+
+func (c *client) snapshotLedger() ledger {
+	return ledger{
+		rejected429: c.rejected429.Load(),
+		rejected503: c.rejected503.Load(),
+		retries:     c.retries.Load(),
+		hotSpins:    c.hotSpins.Load(),
+		backoffNs:   c.backoffNs.Load(),
+	}
+}
+
+func (l ledger) sub(before ledger) ledger {
+	return ledger{
+		rejected429: l.rejected429 - before.rejected429,
+		rejected503: l.rejected503 - before.rejected503,
+		retries:     l.retries - before.retries,
+		hotSpins:    l.hotSpins - before.hotSpins,
+		backoffNs:   l.backoffNs - before.backoffNs,
+	}
+}
+
+// submit POSTs the spec, backing off and retrying on 429/503 until the
+// job is accepted or ctx ends. Every retry waits at least the server's
+// Retry-After; a missing or non-positive hint is recorded as a hot-spin
+// and replaced by the fallback interval.
+func (c *client) submit(ctx context.Context, spec server.Spec) (server.Status, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return server.Status{}, fmt.Errorf("marshal spec: %w", err)
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return server.Status{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return server.Status{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st server.Status
+			err := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return server.Status{}, fmt.Errorf("decode submit response: %w", err)
+			}
+			return st, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				c.rejected429.Add(1)
+			} else {
+				c.rejected503.Add(1)
+			}
+			wait, ok := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if !ok {
+				c.hotSpins.Add(1)
+				wait = c.fallbackBackoff
+			}
+			c.retries.Add(1)
+			c.backoffNs.Add(int64(wait))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return server.Status{}, ctx.Err()
+			}
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return server.Status{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		}
+	}
+}
+
+// retryAfter parses the response's pacing hint (delta-seconds form).
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs <= 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// await polls the job until it reaches a terminal state.
+func (c *client) await(ctx context.Context, id string) (server.Status, error) {
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	for {
+		st, err := c.status(ctx, id)
+		if err != nil {
+			return server.Status{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return server.Status{}, ctx.Err()
+		}
+	}
+}
+
+func (c *client) status(ctx context.Context, id string) (server.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.Status{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return server.Status{}, fmt.Errorf("status %s: HTTP %d: %s", id, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.Status{}, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// histSnapshot mirrors the registry's serialized histogram shape.
+type histSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// metricsSnapshot is the subset of /debug/metrics the harness reads.
+type metricsSnapshot struct {
+	Histograms map[string]histSnapshot `json:"histograms"`
+}
+
+// metrics scrapes the daemon's registry snapshot; ok=false when the
+// endpoint is unavailable (the harness then skips the server-side
+// cross-check rather than failing the sweep).
+func (c *client) metrics(ctx context.Context) (metricsSnapshot, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/metrics", nil)
+	if err != nil {
+		return metricsSnapshot{}, false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return metricsSnapshot{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return metricsSnapshot{}, false
+	}
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return metricsSnapshot{}, false
+	}
+	return snap, true
+}

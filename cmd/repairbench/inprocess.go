@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// daemonOpts sizes the in-process daemon the harness starts when no
+// -addr is given.
+type daemonOpts struct {
+	workers    int
+	queueDepth int
+	retryAfter time.Duration
+	storeDir   string
+	logf       func(format string, args ...any)
+}
+
+// startDaemon runs a real mwrepaird-equivalent stack — manager, handler,
+// middleware, TCP listener — inside the harness process and drives it
+// over loopback HTTP. In-process measurement keeps the sweep
+// self-contained (CI needs no second process) while still exercising the
+// full serving path, serialization included; only NIC and kernel
+// network-stack effects are out of scope, and -addr covers those.
+func startDaemon(o daemonOpts) (url string, stop func() error, err error) {
+	var st *store.Store
+	if o.storeDir != "" {
+		if err := os.MkdirAll(o.storeDir, 0o755); err != nil {
+			return "", nil, fmt.Errorf("-store: %w", err)
+		}
+		if st, err = store.Open(store.Options{Dir: o.storeDir}); err != nil {
+			return "", nil, fmt.Errorf("-store: %w", err)
+		}
+	}
+
+	mgr := server.NewManager(server.Config{
+		Workers:      o.workers,
+		QueueDepth:   o.queueDepth,
+		RetryAfter:   o.retryAfter,
+		DrainTimeout: 5 * time.Second,
+		Store:        st,
+		Logf:         o.logf,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
+		return "", nil, fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: server.Handler(mgr)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	stop = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErr := mgr.Shutdown(ctx)
+		httpErr := srv.Shutdown(ctx)
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				return err
+			}
+		}
+		if drainErr != nil {
+			return drainErr
+		}
+		return httpErr
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// sample is one accepted job's observed outcome. Queue-wait and
+// execution come from the daemon's own status timestamps (what the job
+// experienced inside the service); e2e is the client's wall clock from
+// first submit attempt to terminal status observed (what the caller
+// experienced, including submit backoff and poll quantization).
+type sample struct {
+	state       server.State
+	repaired    bool
+	queueWaitMs float64
+	execMs      float64
+	e2eMs       float64
+}
+
+// runOpts configures one sweep cell.
+type runOpts struct {
+	workload    workload
+	mode        string  // "closed" | "open"
+	concurrency int     // closed loop: client workers
+	rate        float64 // open loop: offered submits/sec
+	duration    time.Duration
+	maxJobs     int // 0 = duration-bound
+	jobTimeout  string
+	baseSeed    uint64
+	// awaitGrace bounds how long after the submit window the harness
+	// waits for in-flight jobs to reach a terminal state.
+	awaitGrace time.Duration
+}
+
+// runOne executes one (workload, mode, level) cell against the daemon and
+// reports it. The backpressure ledger and the server histograms are
+// differenced across the cell, so sequential cells don't contaminate each
+// other.
+func runOne(ctx context.Context, c *client, o runOpts) (RunReport, error) {
+	ledgerBefore := c.snapshotLedger()
+	metricsBefore, haveMetrics := c.metrics(ctx)
+
+	samples, submitted, window, err := drive(ctx, c, o)
+	if err != nil {
+		return RunReport{}, err
+	}
+
+	led := c.snapshotLedger().sub(ledgerBefore)
+	rep := RunReport{
+		Workload:      o.workload.name,
+		Mode:          o.mode,
+		DurationS:     round3(window.Seconds()),
+		Submitted:     submitted,
+		Rejected429:   led.rejected429,
+		Rejected503:   led.rejected503,
+		Retries:       led.retries,
+		HotSpins:      led.hotSpins,
+		BackoffWaitMs: round3(float64(led.backoffNs) / 1e6),
+	}
+	if o.mode == "open" {
+		rep.OfferedRPS = o.rate
+	} else {
+		rep.Concurrency = o.concurrency
+	}
+
+	var qw, ex, e2e []float64
+	for _, s := range samples {
+		switch s.state {
+		case server.StateDone:
+			rep.Completed++
+			if s.repaired {
+				rep.Repaired++
+			}
+			qw = append(qw, s.queueWaitMs)
+			ex = append(ex, s.execMs)
+			e2e = append(e2e, s.e2eMs)
+		case server.StateFailed:
+			rep.Failed++
+		case server.StateCancelled:
+			rep.Cancelled++
+		}
+	}
+	if window > 0 {
+		rep.JobsPerSec = round3(float64(rep.Completed) / window.Seconds())
+		rep.RepairsPerSec = round3(float64(rep.Repaired) / window.Seconds())
+	}
+	rep.LatencyMs = map[string]LatencySummary{
+		"queueWait": summarize(qw),
+		"exec":      summarize(ex),
+		"e2e":       summarize(e2e),
+	}
+
+	if haveMetrics {
+		if after, ok := c.metrics(ctx); ok {
+			server := map[string]LatencySummary{}
+			for key, hist := range map[string]string{
+				"queueWait": "server.job.queue_wait_ms",
+				"exec":      "server.job.latency_ms",
+				"e2e":       "server.job.e2e_ms",
+			} {
+				if d := delta(metricsBefore.Histograms[hist], after.Histograms[hist]); d != nil {
+					server[key] = d.summary()
+				}
+			}
+			if len(server) > 0 {
+				rep.ServerLatencyMs = server
+			}
+		}
+	}
+	return rep, nil
+}
+
+// drive runs the submit/await loops and collects samples. The returned
+// window spans from the first submit to the last terminal observation —
+// closed-loop throughput is honest about tail jobs, not just the submit
+// phase.
+func drive(ctx context.Context, c *client, o runOpts) ([]sample, int, time.Duration, error) {
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		firstErr  error
+		submitted atomic.Int64
+		claimed   atomic.Int64
+	)
+	recordErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	subCtx, cancelSub := context.WithDeadline(ctx, deadline)
+	defer cancelSub()
+	awaitCtx, cancelAwait := context.WithDeadline(ctx, deadline.Add(o.awaitGrace))
+	defer cancelAwait()
+
+	oneJob := func(worker, n int) bool {
+		if o.maxJobs > 0 && claimed.Add(1) > int64(o.maxJobs) {
+			return false
+		}
+		spec := o.workload.spec(worker, n, o.baseSeed)
+		spec.Timeout = o.jobTimeout
+		t0 := time.Now()
+		st, err := c.submit(subCtx, spec)
+		if err != nil {
+			// The submit window closing mid-backoff is the normal end of a
+			// closed-loop worker; anything else is a real harness failure.
+			if subCtx.Err() == nil {
+				recordErr(err)
+			}
+			return false
+		}
+		submitted.Add(1)
+		fin, err := c.await(awaitCtx, st.ID)
+		if err != nil {
+			if awaitCtx.Err() == nil {
+				recordErr(err)
+			}
+			return false
+		}
+		s := sample{state: fin.State, e2eMs: float64(time.Since(t0)) / 1e6}
+		if fin.Result != nil {
+			s.repaired = fin.Result.Repaired
+		}
+		if q, st2, f := parseTimes(fin); !q.IsZero() && !st2.IsZero() && !f.IsZero() {
+			s.queueWaitMs = float64(st2.Sub(q)) / 1e6
+			s.execMs = float64(f.Sub(st2)) / 1e6
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+		return true
+	}
+
+	var wg sync.WaitGroup
+	switch o.mode {
+	case "closed":
+		for w := 0; w < o.concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for n := 0; time.Now().Before(deadline); n++ {
+					if !oneJob(w, n) {
+						return
+					}
+				}
+			}(w)
+		}
+	case "open":
+		// Fixed arrival schedule: submits fire every 1/rate regardless of
+		// completions, so queueing delay shows up in e2e instead of being
+		// absorbed by client-side blocking (the open-system critique of
+		// closed-loop benchmarks).
+		interval := time.Duration(float64(time.Second) / o.rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		n := 0
+	arrivals:
+		for time.Now().Before(deadline) && (o.maxJobs == 0 || n < o.maxJobs) {
+			select {
+			case <-ticker.C:
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					oneJob(0, n)
+				}(n)
+				n++
+			case <-ctx.Done():
+				break arrivals
+			}
+		}
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown mode %q", o.mode)
+	}
+	wg.Wait()
+	window := time.Since(start)
+
+	if firstErr != nil {
+		return nil, 0, 0, fmt.Errorf("%s/%s: %w", o.workload.name, o.mode, firstErr)
+	}
+	return samples, int(submitted.Load()), window, nil
+}
+
+// parseTimes decodes the daemon's RFC3339Nano status timestamps.
+func parseTimes(st server.Status) (queued, started, finished time.Time) {
+	parse := func(s string) time.Time {
+		if s == "" {
+			return time.Time{}
+		}
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return time.Time{}
+		}
+		return t
+	}
+	return parse(st.QueuedAt), parse(st.StartedAt), parse(st.FinishedAt)
+}

@@ -1,0 +1,237 @@
+// Command repairbench is the system-level load harness for the repair
+// daemon: where `make bench` measures ns/op of inner loops, repairbench
+// measures what a *service* delivers — repairs per second and queue-wait /
+// execution / end-to-end latency percentiles as a function of offered
+// load, per workload mix.
+//
+// Usage:
+//
+//	repairbench [-addr http://host:port]            # target a live daemon
+//	            [-daemon-jobs 4 -queue 64 -retry-after 1s -store dir]  # or start one in-process
+//	            [-workloads cheap,heavy] [-mode closed|open|both]
+//	            [-concurrency 1,2,4,8] [-rates 8,16]
+//	            [-duration 3s] [-max-jobs 0] [-job-timeout 60s]
+//	            [-poll 2ms] [-seed 1] [-o BENCH_SERVE.json]
+//
+// Modes: the closed loop keeps a fixed number of client workers busy
+// (submit, await, repeat) and sweeps that concurrency; the open loop
+// submits on a fixed arrival schedule independent of completions and
+// sweeps the offered rate, so saturation appears as latency growth
+// instead of client-side throttling.
+//
+// Backpressure is measured honestly: a 429/503 submit is not a failure —
+// the client backs off for at least the server's Retry-After and retries,
+// and the report separates rejected submits, retries, total backoff wait,
+// and hot-spins (rejections whose Retry-After was missing or zero — a
+// server-side pacing bug) from completed-job throughput and latency.
+//
+// Each sweep cell reports client-observed percentiles (exact, from raw
+// samples) alongside the daemon's own /debug/metrics histogram deltas
+// rendered through the same interpolated quantile estimator
+// (obs.QuantileFromBuckets) — when the two disagree by more than bucket
+// resolution, the daemon's instrumentation is lying.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "base URL of a running daemon (default: start one in-process)")
+		daemonJobs = flag.Int("daemon-jobs", 4, "[in-process] concurrent repair-job workers")
+		queue      = flag.Int("queue", 64, "[in-process] admission queue depth")
+		retryAfter = flag.Duration("retry-after", time.Second, "[in-process] Retry-After backpressure hint")
+		storeDir   = flag.String("store", "", "[in-process] persistent evaluation-store directory (enables the warm workload's reuse)")
+
+		workloadList = flag.String("workloads", "cheap,heavy", "comma-separated workload mixes ("+workloadNames()+")")
+		mode         = flag.String("mode", "closed", "load model: closed, open, or both")
+		concurrency  = flag.String("concurrency", "1,2,4,8", "closed-loop client-concurrency sweep levels")
+		rates        = flag.String("rates", "4,16", "open-loop offered submit rates (jobs/sec)")
+		duration     = flag.Duration("duration", 3*time.Second, "submit window per sweep cell")
+		maxJobs      = flag.Int("max-jobs", 0, "cap on accepted jobs per cell (0 = duration-bound)")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job wall-clock budget (becomes the job spec's timeout)")
+		poll         = flag.Duration("poll", 2*time.Millisecond, "status poll interval while awaiting a job")
+		seed         = flag.Uint64("seed", 1, "base seed for the deterministic per-job seed schedule")
+		out          = flag.String("o", "", "write the JSON report here (default stdout)")
+		verbose      = flag.Bool("v", false, "log daemon lifecycle and per-cell progress to stderr")
+	)
+	flag.Parse()
+	cliutil.Positive("repairbench", "daemon-jobs", *daemonJobs)
+	cliutil.Positive("repairbench", "queue", *queue)
+	cliutil.NonNegativeDuration("repairbench", "retry-after", *retryAfter)
+	cliutil.NonNegativeDuration("repairbench", "job-timeout", *jobTimeout)
+	if *duration <= 0 {
+		cliutil.Fatalf("repairbench", "-duration must be > 0, got %v", *duration)
+	}
+	if *poll <= 0 {
+		cliutil.Fatalf("repairbench", "-poll must be > 0, got %v", *poll)
+	}
+	if *mode != "closed" && *mode != "open" && *mode != "both" {
+		cliutil.Fatalf("repairbench", "-mode must be closed, open or both, got %q", *mode)
+	}
+
+	selected, err := selectWorkloads(*workloadList)
+	if err != nil {
+		cliutil.Fatalf("repairbench", "-workloads: %v", err)
+	}
+	levels, err := parseIntList(*concurrency)
+	if err != nil || len(levels) == 0 {
+		cliutil.Fatalf("repairbench", "-concurrency: want positive integers like 1,2,4, got %q", *concurrency)
+	}
+	rateLevels, err := parseFloatList(*rates)
+	if err != nil || len(rateLevels) == 0 {
+		cliutil.Fatalf("repairbench", "-rates: want positive numbers like 4,16, got %q", *rates)
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "repairbench: "+format+"\n", args...)
+		}
+	}
+
+	report := Report{
+		Schema:     "repairbench/v1",
+		Target:     "in-process",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	base := *addr
+	if base == "" {
+		url, stop, err := startDaemon(daemonOpts{
+			workers:    *daemonJobs,
+			queueDepth: *queue,
+			retryAfter: *retryAfter,
+			storeDir:   *storeDir,
+			logf:       logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repairbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "repairbench: daemon shutdown: %v\n", err)
+			}
+		}()
+		base = url
+		report.Daemon = &DaemonInfo{
+			Workers:    *daemonJobs,
+			QueueDepth: *queue,
+			RetryAfter: retryAfter.String(),
+			Store:      *storeDir != "",
+		}
+		logf("in-process daemon on %s (jobs=%d queue=%d)", base, *daemonJobs, *queue)
+	} else {
+		report.Target = strings.TrimRight(base, "/")
+		base = report.Target
+	}
+
+	c := &client{
+		base:            base,
+		hc:              &http.Client{Timeout: 30 * time.Second},
+		poll:            *poll,
+		fallbackBackoff: 250 * time.Millisecond,
+	}
+
+	ctx, stopSig := cliutil.SignalContext(context.Background())
+	defer stopSig()
+
+	var cells []runOpts
+	for _, wl := range selected {
+		if *mode == "closed" || *mode == "both" {
+			for _, conc := range levels {
+				cells = append(cells, runOpts{workload: wl, mode: "closed", concurrency: conc})
+			}
+		}
+		if *mode == "open" || *mode == "both" {
+			for _, r := range rateLevels {
+				cells = append(cells, runOpts{workload: wl, mode: "open", rate: r})
+			}
+		}
+	}
+	for i := range cells {
+		cells[i].duration = *duration
+		cells[i].maxJobs = *maxJobs
+		cells[i].jobTimeout = jobTimeout.String()
+		cells[i].baseSeed = *seed
+		cells[i].awaitGrace = *jobTimeout + 30*time.Second
+	}
+
+	for _, cell := range cells {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "repairbench: interrupted; reporting completed cells only")
+			break
+		}
+		rep, err := runOne(ctx, c, cell)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repairbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "repairbench: "+rep.line())
+		report.Runs = append(report.Runs, rep)
+	}
+	if len(report.Runs) == 0 {
+		fmt.Fprintln(os.Stderr, "repairbench: no cells completed")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repairbench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "repairbench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "repairbench: wrote %s (%d runs)\n", *out, len(report.Runs))
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

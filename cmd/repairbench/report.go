@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Report is the BENCH_SERVE.json document: one run entry per
+// (workload, mode, level) cell of the sweep. The schema string is the
+// contract `benchjson -validate-serve` checks; bump it when a field
+// changes meaning.
+type Report struct {
+	Schema string `json:"schema"`
+	// Target is "in-process" or the -addr the sweep was aimed at.
+	Target string `json:"target"`
+	// Daemon echoes the in-process daemon sizing (absent for remote
+	// targets, whose sizing the harness cannot see).
+	Daemon *DaemonInfo `json:"daemon,omitempty"`
+	// GoMaxProcs pins the client-side parallelism the numbers were
+	// measured under.
+	GoMaxProcs int         `json:"goMaxProcs"`
+	Runs       []RunReport `json:"runs"`
+}
+
+// DaemonInfo records the in-process daemon's knobs.
+type DaemonInfo struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queueDepth"`
+	RetryAfter string `json:"retryAfter"`
+	Store      bool   `json:"store"`
+}
+
+// RunReport is one sweep cell.
+type RunReport struct {
+	Workload string `json:"workload"`
+	// Mode is "closed" (fixed client concurrency, next submit waits for
+	// the previous completion) or "open" (fixed offered arrival rate,
+	// submits do not wait).
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	OfferedRPS  float64 `json:"offeredRps,omitempty"`
+	DurationS   float64 `json:"durationS"`
+
+	// Submitted counts accepted submissions; Completed/Failed/Cancelled
+	// partition their terminal states; Repaired counts completed jobs
+	// whose repair succeeded.
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Repaired  int `json:"repaired"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+
+	// Honest backpressure accounting: rejected submits are *not* failures
+	// and are never folded into the latency percentiles — they are the
+	// admission policy working. HotSpins counts 429/503 responses whose
+	// Retry-After was missing or non-positive (the client then waits a
+	// fallback interval, but the server gave no pacing, which is the bug
+	// this harness exists to catch). Every retry waits at least the
+	// server's Retry-After; BackoffWaitMs is the total time spent doing so.
+	Rejected429   int64   `json:"rejected429"`
+	Rejected503   int64   `json:"rejected503"`
+	Retries       int64   `json:"retries"`
+	HotSpins      int64   `json:"hotSpins"`
+	BackoffWaitMs float64 `json:"backoffWaitMs"`
+
+	JobsPerSec    float64 `json:"jobsPerSec"`
+	RepairsPerSec float64 `json:"repairsPerSec"`
+
+	// LatencyMs holds client-observed summaries keyed "queueWait", "exec"
+	// and "e2e": queue-wait and execution come from the daemon's own
+	// status timestamps; e2e is wall clock from the first submit attempt
+	// (including any backoff) to the terminal status being observed.
+	LatencyMs map[string]LatencySummary `json:"latencyMs"`
+	// ServerLatencyMs is the cross-check: the same three summaries
+	// estimated from the daemon's /debug/metrics histogram deltas over
+	// this run, via the interpolated obs.QuantileFromBuckets estimator.
+	// Absent when the target exposes no metrics endpoint.
+	ServerLatencyMs map[string]LatencySummary `json:"serverLatencyMs,omitempty"`
+}
+
+// LatencySummary is a percentile digest of one latency dimension.
+type LatencySummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// summarize digests raw samples (exact nearest-rank percentiles — the
+// client has every sample, unlike the daemon's bucketed view).
+func summarize(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	pick := func(q float64) float64 {
+		rank := int(math.Ceil(q * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		return s[rank-1]
+	}
+	return LatencySummary{
+		N:    len(s),
+		Mean: round3(sum / float64(len(s))),
+		P50:  round3(pick(0.50)),
+		P95:  round3(pick(0.95)),
+		P99:  round3(pick(0.99)),
+		Max:  round3(s[len(s)-1]),
+	}
+}
+
+// histDelta is the per-run slice of one server histogram: buckets after
+// the run minus buckets before it.
+type histDelta struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// delta subtracts two snapshots of the same histogram, nil when the
+// shapes differ (a daemon restart mid-sweep) or nothing was observed.
+func delta(before, after histSnapshot) *histDelta {
+	if len(before.Bounds) != len(after.Bounds) || len(before.Buckets) != len(after.Buckets) {
+		// before may be the zero value (histogram not created yet).
+		if len(before.Bounds) != 0 {
+			return nil
+		}
+		before.Buckets = make([]int64, len(after.Buckets))
+	}
+	d := &histDelta{
+		bounds: after.Bounds,
+		counts: make([]int64, len(after.Buckets)),
+		sum:    after.Sum - before.Sum,
+		n:      after.Count - before.Count,
+	}
+	for i := range after.Buckets {
+		d.counts[i] = after.Buckets[i] - before.Buckets[i]
+		if d.counts[i] < 0 {
+			return nil
+		}
+	}
+	if d.n <= 0 {
+		return nil
+	}
+	return d
+}
+
+// summary renders the delta through the same interpolated estimator the
+// daemon itself would use, so harness and /debug/metrics agree by
+// construction.
+func (d *histDelta) summary() LatencySummary {
+	q := func(p float64) float64 {
+		return round3(obs.QuantileFromBuckets(d.bounds, d.counts, p))
+	}
+	return LatencySummary{
+		N:    int(d.n),
+		Mean: round3(d.sum / float64(d.n)),
+		P50:  q(0.50),
+		P95:  q(0.95),
+		P99:  q(0.99),
+		Max:  q(1),
+	}
+}
+
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	return math.Round(v*1000) / 1000
+}
+
+// line renders the one-line human summary of a run.
+func (r RunReport) line() string {
+	level := fmt.Sprintf("c=%d", r.Concurrency)
+	if r.Mode == "open" {
+		level = fmt.Sprintf("rate=%g/s", r.OfferedRPS)
+	}
+	e2e := r.LatencyMs["e2e"]
+	qw := r.LatencyMs["queueWait"]
+	return fmt.Sprintf(
+		"%-6s %-6s %-9s %6.1f jobs/s %6.1f repairs/s  e2e p50/p95/p99 %.1f/%.1f/%.1fms  queue p95 %.1fms  rejected %d (hot-spin %d)",
+		r.Workload, r.Mode, level, r.JobsPerSec, r.RepairsPerSec,
+		e2e.P50, e2e.P95, e2e.P99, qw.P95, r.Rejected429+r.Rejected503, r.HotSpins)
+}

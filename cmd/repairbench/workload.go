@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// A workload is a deterministic job-spec generator: spec(worker, n)
+// yields the n-th job of the given client worker. Generators derive each
+// job's seed from (baseSeed, worker, n), so a sweep is reproducible while
+// still exercising distinct repair trajectories.
+type workload struct {
+	name string
+	desc string
+	spec func(worker, n int, baseSeed uint64) server.Spec
+}
+
+// cheapSrc is a fast custom repair subject (the probe-dominated extreme):
+// the defect statement `set acc = acc + 7` is only reachable for n >= 100,
+// so the three positives pass and the single negative fails until a
+// mutation deletes or neutralizes it. Pool build plus online repair is
+// single-digit milliseconds.
+const cheapSrc = `input n
+input m
+set acc = n + m
+if n < 100 goto ok
+set acc = acc + 7
+label ok
+print acc
+halt
+`
+
+func cheapSuite() *server.SuiteSpec {
+	return &server.SuiteSpec{
+		Positive: []server.TestSpec{
+			{Name: "small", Input: []int64{1, 2}, Want: []int64{3}},
+			{Name: "mid", Input: []int64{5, 5}, Want: []int64{10}},
+			{Name: "edge", Input: []int64{99, 0}, Want: []int64{99}},
+		},
+		Negative: []server.TestSpec{
+			{Name: "big", Input: []int64{500, 1}, Want: []int64{501}},
+		},
+	}
+}
+
+// heavyScenario is the expensive-suite extreme: a registry scenario whose
+// phase-1 precompute alone evaluates ~450 candidates against a 7-test
+// suite over a 201-statement program (~100ms of real repair work per
+// job at 4 probe workers).
+const heavyScenario = "libtiff-2005-12-14"
+
+// jobSeed spreads (worker, n) over distinct, collision-free seeds.
+func jobSeed(worker, n int, base uint64) uint64 {
+	s := base + uint64(worker)*1_000_003 + uint64(n)*7919
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func cheapSpec(worker, n int, base uint64) server.Spec {
+	return server.Spec{
+		Program:    cheapSrc,
+		Name:       "bench-cheap",
+		Suite:      cheapSuite(),
+		PoolTarget: 24,
+		Workers:    2,
+		MaxIter:    2000,
+		Seed:       jobSeed(worker, n, base),
+	}
+}
+
+func heavySpec(worker, n int, base uint64) server.Spec {
+	return server.Spec{
+		Scenario: heavyScenario,
+		Workers:  4,
+		MaxIter:  2000,
+		Seed:     jobSeed(worker, n, base),
+	}
+}
+
+// workloads is the profile registry. Each profile isolates one axis of
+// service behaviour; sweeping two or more gives the mixed-workload view
+// the paper-style tables need.
+var workloads = []workload{
+	{
+		name: "cheap",
+		desc: "custom-source submits, millisecond jobs (admission + queue overhead dominate)",
+		spec: cheapSpec,
+	},
+	{
+		name: "heavy",
+		desc: heavyScenario + " registry jobs, ~100ms suite-heavy repairs (execution dominates)",
+		spec: heavySpec,
+	},
+	{
+		name: "mixed",
+		desc: "50/50 cheap/heavy interleave (queueing interaction between short and long jobs)",
+		spec: func(worker, n int, base uint64) server.Spec {
+			if (worker+n)%2 == 0 {
+				return cheapSpec(worker, n, base)
+			}
+			return heavySpec(worker, n, base)
+		},
+	},
+	{
+		name: "warm",
+		desc: heavyScenario + " with a fixed seed: identical jobs warm-start from the daemon's -store (cold only on first contact)",
+		spec: func(worker, n int, base uint64) server.Spec {
+			s := heavySpec(0, 0, base)
+			s.Seed = base // every job identical: maximal store/warm-start reuse
+			return s
+		},
+	},
+	{
+		name: "faulty",
+		desc: heavyScenario + " under 8% injected probe faults with managed policies (degradation curve)",
+		spec: func(worker, n int, base uint64) server.Spec {
+			s := heavySpec(worker, n, base)
+			s.FaultRate = 0.08
+			s.Managed = true
+			return s
+		},
+	},
+}
+
+// workloadNames lists the registry for -h output.
+func workloadNames() string {
+	names := make([]string, 0, len(workloads))
+	for _, w := range workloads {
+		names = append(names, w.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// selectWorkloads resolves a comma-separated -workloads value.
+func selectWorkloads(list string) ([]workload, error) {
+	var out []workload
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, w := range workloads {
+			if w.name == name {
+				out = append(out, w)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown workload %q (have: %s)", name, workloadNames())
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no workloads selected (have: %s)", workloadNames())
+	}
+	return out, nil
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -59,21 +61,43 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // of kilobytes at most; a megabyte is already hostile.
 const maxSpecBytes = 1 << 20
 
+// retryAfterSeconds renders a backoff hint as a whole-second Retry-After
+// value, rounding *up* with a floor of 1: truncation would render any
+// sub-second hint as "Retry-After: 0", which clients read as "retry
+// immediately" — turning the backpressure signal into a hot spin.
+func retryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
 	j, err := m.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(m.cfg.RetryAfter.Seconds())))
+		w.Header().Set("Retry-After", retryAfterSeconds(m.cfg.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
+		// A draining daemon is often one instance of several behind a
+		// balancer; give clients the same pacing hint as a full queue so
+		// their retry loop backs off instead of spinning on 503s.
+		w.Header().Set("Retry-After", retryAfterSeconds(m.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -84,12 +108,39 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-func handleList(m *Manager, w http.ResponseWriter, _ *http.Request) {
-	jobs := m.Jobs()
+// queryInt parses a non-negative integer query parameter, with def when
+// absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("?%s must be a non-negative integer, got %q", name, s)
+	}
+	return v, nil
+}
+
+func handleList(m *Manager, w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, total := m.JobsPage(offset, limit)
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.status())
 	}
+	// The full table size, so a paginating client knows when to stop
+	// without a count endpoint.
+	w.Header().Set("X-Total-Count", strconv.Itoa(total))
 	writeJSON(w, http.StatusOK, out)
 }
 

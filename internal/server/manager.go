@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -150,11 +151,22 @@ type Manager struct {
 	accepted, rejected               *obs.Counter
 	completed, failed, cancelledJobs *obs.Counter
 	queueDepth, runningGauge         *obs.Gauge
-	latency                          *obs.Histogram
+	latency, queueWait, e2eLatency   *obs.Histogram
 	// Cross-job persistence accounting (zero without Config.Store):
 	// cumulative precompute safety checks answered from the store and
 	// online cache entries warm-started from it.
 	storeHits, warmEntries *obs.Counter
+}
+
+// latencyBoundsMs buckets the per-job latency histograms (queue-wait,
+// execution, end-to-end). Repair jobs span four orders of magnitude —
+// warm-store custom programs finish in single-digit milliseconds, cold
+// registry scenarios take seconds to minutes — so the bounds are dense at
+// the low end and log-spaced above, keeping Histogram.Quantile's
+// interpolation error proportional to the value it estimates.
+var latencyBoundsMs = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000, 600_000,
 }
 
 // NewManager builds a manager and starts its worker fleet.
@@ -171,8 +183,10 @@ func NewManager(cfg Config) *Manager {
 		cancelledJobs: cfg.Registry.Counter("server.jobs.cancelled"),
 		queueDepth:    cfg.Registry.Gauge("server.queue.depth"),
 		runningGauge:  cfg.Registry.Gauge("server.jobs.running"),
-		latency: cfg.Registry.Histogram("server.job.latency_ms",
-			[]float64{1, 10, 100, 1000, 10_000, 60_000, 600_000}),
+		latency: cfg.Registry.Histogram("server.job.latency_ms", latencyBoundsMs),
+		queueWait: cfg.Registry.Histogram("server.job.queue_wait_ms",
+			latencyBoundsMs),
+		e2eLatency: cfg.Registry.Histogram("server.job.e2e_ms", latencyBoundsMs),
 		storeHits:   cfg.Registry.Counter("pool.store_hits"),
 		warmEntries: cfg.Registry.Counter("cache.warm_entries"),
 	}
@@ -244,18 +258,32 @@ func (m *Manager) Get(id string) (*Job, bool) {
 
 // Jobs returns every known job in admission order.
 func (m *Manager) Jobs() []*Job {
+	jobs, _ := m.JobsPage(0, 0)
+	return jobs
+}
+
+// JobsPage returns the admission-ordered job window [offset, offset+limit)
+// plus the total table size; limit 0 means "to the end". The sort is
+// O(n log n) — a load test leaves tens of thousands of terminal jobs in
+// the table, and the insertion sort this replaces went quadratic exactly
+// when a monitoring poll of GET /v1/jobs was most expensive to serve.
+func (m *Manager) JobsPage(offset, limit int) ([]*Job, int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		out = append(out, j)
 	}
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].seq < out[k-1].seq; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	total := len(out)
+	if offset > total {
+		offset = total
 	}
-	return out
+	out = out[offset:]
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return out, total
 }
 
 // ErrJobFinished is returned by Cancel for jobs already in a terminal
@@ -442,7 +470,9 @@ func (m *Manager) runJob(j *Job) {
 	j.state = StateRunning
 	j.startedAt = time.Now()
 	j.cancel = cancel // cancelling base propagates to the timeout child
+	queueWait := j.startedAt.Sub(j.queuedAt)
 	j.mu.Unlock()
+	m.queueWait.Observe(millis(queueWait))
 	m.runningGauge.Set(m.runningCount())
 	m.logf("job %s: running", j.ID)
 
@@ -467,10 +497,12 @@ func (m *Manager) runJob(j *Job) {
 	}
 	state := j.state
 	elapsed := j.finishedAt.Sub(j.startedAt)
+	e2e := j.finishedAt.Sub(j.queuedAt)
 	close(j.done)
 	j.mu.Unlock()
 
-	m.latency.Observe(float64(elapsed.Milliseconds()))
+	m.latency.Observe(millis(elapsed))
+	m.e2eLatency.Observe(millis(e2e))
 	m.runningGauge.Set(m.runningCount())
 	if err != nil {
 		m.logf("job %s: failed after %v: %v", j.ID, elapsed.Round(time.Millisecond), err)
@@ -502,6 +534,11 @@ func (m *Manager) exportStoreStats() {
 	reg.Counter("server.store.snapshots").Set(st.Snapshots)
 	reg.Counter("server.store.compactions").Set(st.Compactions)
 }
+
+// millis converts a duration to fractional milliseconds — warm custom-
+// program jobs finish in well under 1ms, and integer truncation would
+// fold them all into 0.
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // runningCount counts non-terminal, non-queued jobs (for the gauge).
 func (m *Manager) runningCount() float64 {
