@@ -7,6 +7,8 @@
 #   make trace       mwrepair -trace smoke + JSONL schema check
 #   make daemon-smoke mwrepaird process-level smoke: job over HTTP, CLI byte-identity, SIGTERM drain
 #   make store       persistent-store gate: corruption recovery + warm-start determinism under -race, write-behind overhead bound
+#   make psample     concurrent-sampling gate: stream/alias determinism under -race + BENCH_PR9.json trio + 4x draw-throughput check
+#   make bench-psample regenerate BENCH_PR9.json (BenchmarkParallelSample trio at -benchtime 1s)
 #   make servebench  service-level smoke: repairbench closed-loop sweep vs an in-process daemon + BENCH_SERVE schema gate
 #   make servebench-full the full sweep, frozen into $(SERVE_OUT) (BENCH_SERVE.json)
 #   make bench       sampling + tracing-overhead + store benchmarks at fixed -benchtime -> $(BENCH_OUT)
@@ -29,9 +31,9 @@ SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|Benchma
 # Where `make servebench-full` writes the committed service-level record.
 SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: ci vet build test race chaos trace daemon-smoke store servebench servebench-full bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos trace daemon-smoke store psample bench-psample servebench servebench-full bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke chaos trace daemon-smoke store servebench
+ci: vet build race bench-smoke chaos trace daemon-smoke store psample servebench
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +81,23 @@ store:
 	$(GO) test -race -run 'Corrupt|Quarantine|Truncat|Duplicate|Audit|Snapshot|WarmStart|StoreShared' \
 		./internal/store ./internal/testsuite ./internal/core ./internal/server
 	STORE_BENCH=1 $(GO) test -count=1 -run TestProbeWriteBehindOverheadGate .
+
+# Concurrent-sampling gate: the stream/alias determinism suite (parallel
+# build bit-identity, per-stream draw determinism under contention, the
+# byte-identical-trace check across worker counts) under the race
+# detector, then the committed BENCH_PR9.json record's schema + 4x
+# draw-throughput check.
+psample:
+	$(GO) test -race -run 'ParallelBuild|ConcurrentAlias|StreamSet|LockedFenwick|AliasReload|TraceByteIdentical|StreamRun|StreamLearners|StreamSample' \
+		./internal/wrs ./internal/mwu
+	$(GO) run ./cmd/benchjson -validate BENCH_PR9.json
+
+# Regenerates the committed BENCH_PR9.json: the BenchmarkParallelSample
+# trio (mutex-guarded Fenwick vs lock-free frozen alias at k=16384 with 8
+# streams, plus the 8-worker parallel rebuild) at a fixed -benchtime.
+bench-psample:
+	$(GO) test -run '^$$' -bench BenchmarkParallelSample -benchmem -benchtime 1s ./internal/wrs \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Service-level smoke (<60s): a short closed-loop sweep — two workload
 # mixes at three client-concurrency levels against an in-process daemon

@@ -199,6 +199,48 @@ func validateServe(path string) error {
 	return nil
 }
 
+// validatePsample checks a committed BENCH_PR9.json concurrent-sampling
+// record: the BenchmarkParallelSample trio must be present under its exact
+// names (this file's own benchmark-line parser strips the -GOMAXPROCS
+// suffix), every line must have run, and the frozen numbers must still
+// show the redesign's point — the lock-free alias draw path at least 4×
+// the throughput of the mutex-guarded Fenwick baseline at the same shape.
+func validatePsample(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var records []record
+	if err := json.Unmarshal(buf, &records); err != nil {
+		return fmt.Errorf("%s: not a benchjson record array: %w", path, err)
+	}
+	byName := map[string]record{}
+	for _, r := range records {
+		byName[r.Name] = r
+	}
+	const (
+		lockedName = "BenchmarkParallelSample/fenwick-locked/k=16384/streams=8"
+		aliasName  = "BenchmarkParallelSample/alias/k=16384/streams=8"
+		buildName  = "BenchmarkParallelSample/alias-build/k=16384/workers=8"
+	)
+	for _, name := range []string{lockedName, aliasName, buildName} {
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("%s: missing %q", path, name)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %q did not run (iterations=%d, ns/op=%g)", path, name, r.Iterations, r.NsPerOp)
+		}
+	}
+	ratio := byName[lockedName].NsPerOp / byName[aliasName].NsPerOp
+	if ratio < 4 {
+		return fmt.Errorf("%s: locked-Fenwick/alias draw ratio %.2fx below the 4x gate (%.1f vs %.1f ns/op)",
+			path, ratio, byName[lockedName].NsPerOp, byName[aliasName].NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: parallel-sampling trio ok, alias draw %.1fx over locked Fenwick\n", path, ratio)
+	return nil
+}
+
 // validateTrace schema-checks a -trace JSONL event stream against the
 // internal/obs contract (known event types, dense sequence numbers,
 // non-negative coordinates) — the `make trace` smoke's validator.
@@ -253,7 +295,16 @@ func main() {
 	resilienceFile := flag.String("validate-resilience", "", "validate an `experiments -resilience -json` export instead of converting benchmarks")
 	traceFile := flag.String("validate-trace", "", "validate a -trace JSONL event stream instead of converting benchmarks")
 	serveFile := flag.String("validate-serve", "", "validate a repairbench BENCH_SERVE.json report instead of converting benchmarks")
+	psampleFile := flag.String("validate", "", "validate a committed BENCH_PR9.json concurrent-sampling record instead of converting benchmarks")
 	flag.Parse()
+
+	if *psampleFile != "" {
+		if err := validatePsample(*psampleFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *resilienceFile != "" {
 		if err := validateResilience(*resilienceFile); err != nil {

@@ -59,7 +59,7 @@ func main() {
 		seeds      = flag.Int("seeds", 10, "replications per cell (paper: 100)")
 		maxIter    = flag.Int("maxiter", 10000, "update-cycle limit")
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all 20)")
-		algorithms = flag.String("algorithms", "", "comma-separated algorithm subset (default: all 3)")
+		algorithms = flag.String("algorithms", "", "comma-separated algorithm subset (default: every registered learner)")
 		scenarioFl = flag.String("scenario", "gzip-2009-09-26", "scenario for -figures")
 		trials     = flag.Int("trials", 300, "Monte-Carlo trials per figure point")
 		k          = flag.Int("k", 1000, "option count for -costmodel")

@@ -45,7 +45,7 @@ func main() {
 	var (
 		name     = flag.String("scenario", "lighttpd-1806-1807", "registry scenario name")
 		list     = flag.Bool("list", false, "list available scenarios and exit")
-		alg      = flag.String("algorithm", "standard", "MWU realization: standard | distributed | slate")
+		alg      = flag.String("algorithm", "standard", "MWU realization: standard | distributed | slate | optimistic | congestion")
 		maxIter  = flag.Int("maxiter", 2000, "online phase iteration limit")
 		workers  = flag.Int("workers", 8, "parallel workers for pool build and probes")
 		seed     = flag.Uint64("seed", 1, "random seed")

@@ -16,6 +16,7 @@ package baseline
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/faults"
 	"repro/internal/lang"
@@ -155,7 +156,13 @@ func NewProblem(p *lang.Program, s *testsuite.Suite) *Problem {
 		for j, t := range pr.targets {
 			tw[j] = pr.weights[t]
 		}
-		pr.targetAlias = wrs.NewAlias(tw)
+		tab, err := wrs.NewAliasChecked(tw)
+		if err != nil {
+			// tw holds only the strictly-positive fault weights — a
+			// rejection here means the weighting scheme itself broke.
+			panic(fmt.Sprintf("baseline: target weights unsampleable: %v", err))
+		}
+		pr.targetAlias = tab
 	}
 	return pr
 }

@@ -58,6 +58,48 @@ func BallsIntoBinsBound(n int) float64 {
 // Slate with n agents: every agent reports to the weight-vector holder.
 func StandardCongestion(n int) int { return n }
 
+// LoadsInto tallies the load profile of one assignment into loads (length
+// k, zeroed first): loads[a] becomes the number of agents whose arm is a.
+// It returns the maximum load — the realized congestion of the assignment,
+// the quantity the constant-step congestion-game learner both measures and
+// dissipates.
+func LoadsInto(loads, arms []int) int {
+	for i := range loads {
+		loads[i] = 0
+	}
+	maxLoad := 0
+	for _, a := range arms {
+		loads[a]++
+		if loads[a] > maxLoad {
+			maxLoad = loads[a]
+		}
+	}
+	return maxLoad
+}
+
+// Loads is LoadsInto with a freshly allocated profile over k options.
+func Loads(arms []int, k int) ([]int, int) {
+	loads := make([]int, k)
+	maxLoad := LoadsInto(loads, arms)
+	return loads, maxLoad
+}
+
+// SharedGain is the congestion-game payoff of one probe: a success's
+// reward r is shared linearly with the load on the same arm —
+// r/(1 + λ·(load−1)) — so an arm carrying the whole population pays ~r/λℓ
+// per player, while a failure costs −1 regardless of load. The linear
+// latency shape is the standard linear congestion game, for which
+// constant-step MWU dynamics converge (Palaiopanos–Panageas–Piliouras).
+func SharedGain(reward float64, load int, lambda float64) float64 {
+	if reward <= 0 {
+		return -1
+	}
+	if load < 1 {
+		load = 1
+	}
+	return reward / (1 + lambda*float64(load-1))
+}
+
 // Profile measures the empirical distribution of MaxLoad over the given
 // number of trials, returning mean and observed maximum. The experiment
 // harness uses it to verify that Distributed congestion tracks

@@ -140,3 +140,65 @@ func BenchmarkMaxLoad10000(b *testing.B) {
 		_ = MaxLoad(10000, 10000, r)
 	}
 }
+
+func TestLoadsInto(t *testing.T) {
+	loads := []int{7, 7, 7, 7} // stale contents must be cleared
+	if got := LoadsInto(loads, []int{0, 0, 2, 0}); got != 3 {
+		t.Fatalf("max load = %d, want 3", got)
+	}
+	want := []int{3, 0, 1, 0}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	if got := LoadsInto(loads, nil); got != 0 {
+		t.Fatalf("empty assignment max load = %d", got)
+	}
+	for i, l := range loads {
+		if l != 0 {
+			t.Fatalf("loads[%d] = %d after empty assignment", i, l)
+		}
+	}
+}
+
+func TestLoadsAllocates(t *testing.T) {
+	loads, maxLoad := Loads([]int{1, 1, 3}, 5)
+	if maxLoad != 2 {
+		t.Fatalf("max load = %d, want 2", maxLoad)
+	}
+	want := []int{0, 2, 0, 1, 0}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+}
+
+func TestSharedGain(t *testing.T) {
+	// A failure costs −1 regardless of load.
+	for _, load := range []int{1, 5, 100} {
+		if g := SharedGain(0, load, 0.25); g != -1 {
+			t.Fatalf("failure gain at load %d = %v, want -1", load, g)
+		}
+	}
+	// Load 1 (or a defensive load 0) passes the reward through unshared.
+	if g := SharedGain(1, 1, 0.25); g != 1 {
+		t.Fatalf("unshared gain = %v, want 1", g)
+	}
+	if g := SharedGain(1, 0, 0.25); g != 1 {
+		t.Fatalf("load-0 gain = %v, want 1", g)
+	}
+	// Load ℓ divides by 1 + λ(ℓ−1), strictly decreasing in ℓ.
+	if g := SharedGain(1, 3, 0.5); math.Abs(g-0.5) > 1e-15 {
+		t.Fatalf("shared gain = %v, want 0.5", g)
+	}
+	prev := math.Inf(1)
+	for load := 1; load <= 8; load++ {
+		g := SharedGain(1, load, 0.25)
+		if g >= prev {
+			t.Fatalf("gain not decreasing in load: load %d gain %v, prev %v", load, g, prev)
+		}
+		prev = g
+	}
+}

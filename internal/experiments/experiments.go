@@ -29,7 +29,7 @@ import (
 
 // Spec configures a tables run.
 type Spec struct {
-	// Algorithms to run; nil means all three.
+	// Algorithms to run; nil means every registered learner (mwu.Names).
 	Algorithms []string
 	// Datasets to run; nil means all twenty.
 	Datasets []string
@@ -174,13 +174,16 @@ func Run(spec Spec) ([]Cell, error) {
 	}
 	wg.Wait()
 
-	// Stable presentation order: dataset groups as in the paper, then
-	// algorithm order standard, distributed, slate.
+	// Stable presentation order: dataset groups as in the paper, then the
+	// learner registry's algorithm order.
 	order := map[string]int{}
 	for i, n := range spec.Datasets {
 		order[n] = i
 	}
-	algOrder := map[string]int{"standard": 0, "distributed": 1, "slate": 2}
+	algOrder := map[string]int{}
+	for i, n := range mwu.Names {
+		algOrder[n] = i
+	}
 	sort.SliceStable(cells, func(a, b int) bool {
 		if order[cells[a].Dataset] != order[cells[b].Dataset] {
 			return order[cells[a].Dataset] < order[cells[b].Dataset]

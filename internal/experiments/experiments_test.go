@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/mwu"
 )
 
 func TestRunCellBasic(t *testing.T) {
@@ -130,19 +131,33 @@ func TestVerifyTableOne(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	r := rows[1] // k = 256
-	// Memory: k for Standard/Slate, O(1) for Distributed.
-	if r.StandardMemory != 256 || r.SlateMemory != 256 || r.DistributedMemory != 1 {
-		t.Fatalf("memory row: %+v", r)
+	if len(r.Cells) != len(mwu.Names) {
+		t.Fatalf("cells = %d, want one per registered learner (%d)", len(r.Cells), len(mwu.Names))
+	}
+	std, dis, slate := r.Cell("standard"), r.Cell("distributed"), r.Cell("slate")
+	// Memory: k for Standard/Slate, O(1) for Distributed, 2k for the
+	// stream learners (weights plus their side vector).
+	if std.Memory != 256 || slate.Memory != 256 || dis.Memory != 1 {
+		t.Fatalf("memory row: %+v", r.Cells)
+	}
+	for _, alg := range []string{"optimistic", "congestion"} {
+		if c := r.Cell(alg); c.Memory != 512 {
+			t.Fatalf("%s memory = %d, want 2k = 512", alg, c.Memory)
+		}
 	}
 	// Congestion: Standard equals its agent count; Distributed far less
-	// than its population.
-	if r.StandardCongestion != int64(r.StandardAgents) {
-		t.Fatalf("standard congestion %d != agents %d", r.StandardCongestion, r.StandardAgents)
+	// than its population; the congestion-game learner's realized max load
+	// never exceeds its agent count.
+	if std.Congestion != int64(std.Agents) {
+		t.Fatalf("standard congestion %d != agents %d", std.Congestion, std.Agents)
 	}
-	if r.DistributedCongestion >= int64(r.DistributedAgents/10) {
-		t.Fatalf("distributed congestion %d not ≪ population %d", r.DistributedCongestion, r.DistributedAgents)
+	if dis.Congestion >= int64(dis.Agents/10) {
+		t.Fatalf("distributed congestion %d not ≪ population %d", dis.Congestion, dis.Agents)
 	}
-	if r.CongestionBound <= 0 {
+	if cg := r.Cell("congestion"); cg.Congestion < 1 || cg.Congestion > int64(cg.Agents) {
+		t.Fatalf("congestion-game max load %d outside [1, %d]", cg.Congestion, cg.Agents)
+	}
+	if dis.CongestionBound <= 0 {
 		t.Fatal("missing balls-into-bins bound")
 	}
 	out := RenderTableOne(rows)
@@ -153,7 +168,7 @@ func TestVerifyTableOne(t *testing.T) {
 
 func TestVerifyTableOneIntractableRow(t *testing.T) {
 	rows := VerifyTableOne([]int{16384}, 10, 1)
-	if !rows[0].DistributedIntractable {
+	if !rows[0].Cell("distributed").Intractable {
 		t.Fatal("16384 should be intractable for distributed")
 	}
 	out := RenderTableOne(rows)

@@ -14,31 +14,44 @@ import (
 	"repro/internal/rng"
 )
 
-// TableOneRow is one empirical verification point of the formal
-// comparison in Table I: for a given option count k, the measured
-// communication congestion, per-node memory, agents, and update cycles of
-// each algorithm, next to the closed-form predictions.
+// TableOneCell is one algorithm's measured quantities at one option count:
+// the empirical side of one column of the paper's Table I. Congestion and
+// memory are int64, matching the mwu.Metrics fields they are read from.
+type TableOneCell struct {
+	Algorithm  string
+	Congestion int64
+	Memory     int64
+	Agents     int
+	Iters      int
+
+	// CongestionBound is the closed-form ln n / ln ln n reference for the
+	// algorithm's population; set only where Table I states a balls-into-bins
+	// bound (Distributed).
+	CongestionBound float64
+	// Intractable marks configurations the factory refused (population
+	// above the tractability bound); the measured fields are zero.
+	Intractable bool
+}
+
+// TableOneRow is one empirical verification point of the formal comparison
+// in Table I: for a given option count k, the measured communication
+// congestion, per-node memory, agents, and update cycles of every
+// registered learner. Cells follow mwu.Names order, so new learners appear
+// without this package changing.
 type TableOneRow struct {
-	K int
+	K     int
+	Cells []TableOneCell
+}
 
-	// Measured values. Congestion and memory are int64, matching the
-	// mwu.Metrics fields they are read from.
-	StandardCongestion    int64
-	DistributedCongestion int64
-	SlateCongestion       int64
-	StandardMemory        int64
-	DistributedMemory     int64
-	SlateMemory           int64
-	StandardAgents        int
-	DistributedAgents     int
-	SlateAgents           int
-	StandardIters         int
-	DistributedIters      int
-	SlateIters            int
-
-	// Theoretical references.
-	CongestionBound        float64 // ln n / ln ln n for the Distributed population
-	DistributedIntractable bool
+// Cell returns the row's cell for the named algorithm, or nil if the
+// algorithm was not measured.
+func (r *TableOneRow) Cell(alg string) *TableOneCell {
+	for i := range r.Cells {
+		if r.Cells[i].Algorithm == alg {
+			return &r.Cells[i]
+		}
+	}
+	return nil
 }
 
 // VerifyTableOne measures the Table I quantities on random instances of
@@ -55,32 +68,24 @@ func VerifyTableOne(sizes []int, maxIter int, seed uint64) []TableOneRow {
 		d := dist.Random(fmt.Sprintf("verify%d", k), k, r)
 		row := TableOneRow{K: k}
 		for _, alg := range mwu.Names {
+			cell := TableOneCell{Algorithm: alg}
 			learner, err := mwu.NewLearner(mwu.Config{Algorithm: alg, K: k}, r.Split())
 			if err != nil {
-				row.DistributedIntractable = true
+				cell.Intractable = true
+				row.Cells = append(row.Cells, cell)
 				continue
 			}
 			p := bandit.NewProblem(d)
 			res := mwu.Run(context.Background(), learner, p, r.Split(), mwu.RunConfig{MaxIter: maxIter, Workers: 1})
 			m := learner.Metrics()
-			switch alg {
-			case "standard":
-				row.StandardCongestion = m.MaxCongestion
-				row.StandardMemory = m.MemoryFloats
-				row.StandardAgents = learner.Agents()
-				row.StandardIters = res.Iterations
-			case "distributed":
-				row.DistributedCongestion = m.MaxCongestion
-				row.DistributedMemory = m.MemoryFloats
-				row.DistributedAgents = learner.Agents()
-				row.DistributedIters = res.Iterations
-				row.CongestionBound = congestion.BallsIntoBinsBound(learner.Agents())
-			case "slate":
-				row.SlateCongestion = m.MaxCongestion
-				row.SlateMemory = m.MemoryFloats
-				row.SlateAgents = learner.Agents()
-				row.SlateIters = res.Iterations
+			cell.Congestion = m.MaxCongestion
+			cell.Memory = m.MemoryFloats
+			cell.Agents = learner.Agents()
+			cell.Iters = res.Iterations
+			if alg == "distributed" {
+				cell.CongestionBound = congestion.BallsIntoBinsBound(learner.Agents())
 			}
+			row.Cells = append(row.Cells, cell)
 		}
 		rows = append(rows, row)
 	}
@@ -88,29 +93,28 @@ func VerifyTableOne(sizes []int, maxIter int, seed uint64) []TableOneRow {
 }
 
 // RenderTableOne renders the verification rows next to the closed-form
-// predictions of costmodel.Predict.
+// predictions: one block per option count, one line per algorithm — the
+// transpose of the paper's layout, which stays readable as the learner
+// registry grows.
 func RenderTableOne(rows []TableOneRow) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Table I (verified) — measured per-iteration congestion, per-node memory, agents, update cycles")
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "k\tcong(Std)\tcong(Dist)\tln n/ln ln n\tcong(Slate)\tmem(Std)\tmem(Dist)\tmem(Slate)\tagents(Std)\tagents(Dist)\tagents(Slate)\titers(Std)\titers(Dist)\titers(Slate)")
+	fmt.Fprintln(w, "k\talgorithm\tcongestion\tln n/ln ln n\tmemory\tagents\titers")
 	for _, r := range rows {
-		dcong := fmt.Sprintf("%d", r.DistributedCongestion)
-		dagents := fmt.Sprintf("%d", r.DistributedAgents)
-		diters := fmt.Sprintf("%d", r.DistributedIters)
-		dmem := fmt.Sprintf("%d", r.DistributedMemory)
-		bound := fmt.Sprintf("%.1f", r.CongestionBound)
-		if r.DistributedIntractable {
-			need := mwu.DefaultPopSize(r.K, 0.71)
-			dcong, dagents, diters, dmem = "—", fmt.Sprintf("(needs %d)", need), "—", "—"
-			bound = "—"
+		for _, c := range r.Cells {
+			if c.Intractable {
+				need := mwu.DefaultPopSize(r.K, 0.71)
+				fmt.Fprintf(w, "%d\t%s\t—\t—\t—\t(needs %d)\t—\n", r.K, c.Algorithm, need)
+				continue
+			}
+			bound := ""
+			if c.CongestionBound > 0 {
+				bound = fmt.Sprintf("%.1f", c.CongestionBound)
+			}
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\n",
+				r.K, c.Algorithm, c.Congestion, bound, c.Memory, c.Agents, c.Iters)
 		}
-		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%d\t%d\t%s\t%d\t%d\t%s\t%d\t%d\t%s\t%d\n",
-			r.K,
-			r.StandardCongestion, dcong, bound, r.SlateCongestion,
-			r.StandardMemory, dmem, r.SlateMemory,
-			r.StandardAgents, dagents, r.SlateAgents,
-			r.StandardIters, diters, r.SlateIters)
 	}
 	w.Flush()
 	fmt.Fprintln(&b, "\nAsymptotic reference (Table I):")
@@ -119,5 +123,7 @@ func RenderTableOne(rows []TableOneRow) string {
 	fmt.Fprintln(&b, "  Convergence:    Standard O(ln k/ε²)   Distributed O(ln k/δ)*   Slate O((k/n)·ln k/ε²)")
 	fmt.Fprintln(&b, "  Min agents:     Standard O(n)   Distributed O(k^(1/δ))         Slate O(n)")
 	fmt.Fprintln(&b, "  (* holds with probability ≥ 1−1/n)")
+	fmt.Fprintln(&b, "  Optimistic and Congestion share Standard's communication/memory shape (n messages, k floats)")
+	fmt.Fprintln(&b, "  except Congestion reports the realized max arm load, the quantity its dynamics dissipate.")
 	return b.String()
 }

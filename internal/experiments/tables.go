@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/dataset"
+	"repro/internal/mwu"
 )
 
 // TableKind selects which of the paper's result tables to render from a
@@ -73,8 +74,18 @@ func indexCells(cells []Cell) *cellIndex {
 	return idx
 }
 
-// algorithms in paper column order.
-var tableAlgs = []string{"standard", "distributed", "slate"}
+// tableAlgs is the column order of Tables II–IV: the learner registry's
+// presentation order, so new registered learners gain columns without this
+// package changing.
+var tableAlgs = mwu.Names
+
+// columnTitle renders an algorithm name as a column header.
+func columnTitle(alg string) string {
+	if alg == "" {
+		return alg
+	}
+	return strings.ToUpper(alg[:1]) + alg[1:]
+}
 
 // RenderTable renders one result table in the paper's layout: scenario
 // rows grouped by dataset kind, one column per algorithm.
@@ -83,7 +94,11 @@ func RenderTable(kind TableKind, cells []Cell, maxIter int) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, kind.String())
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Scenario\tSize\tStandard\tDistributed\tSlate")
+	header := "Scenario\tSize"
+	for _, alg := range tableAlgs {
+		header += "\t" + columnTitle(alg)
+	}
+	fmt.Fprintln(w, header)
 	for _, group := range groupTitles {
 		printed := false
 		for _, dn := range idx.datasets {
@@ -91,7 +106,7 @@ func RenderTable(kind TableKind, cells []Cell, maxIter int) string {
 				continue
 			}
 			if !printed {
-				fmt.Fprintf(w, "-- %s --\t\t\t\t\n", group.title)
+				fmt.Fprintf(w, "-- %s --%s\n", group.title, strings.Repeat("\t", len(tableAlgs)+1))
 				printed = true
 			}
 			fmt.Fprintf(w, "%s\t%d", dn, idx.sizes[dn])

@@ -16,7 +16,21 @@
 //     neighbor's choice, evaluates it, and adopts it with prob. β on
 //     success or α on failure.
 //
-// All three sit behind the Learner interface, which mirrors the generic
+// plus two post-paper realizations built on the concurrent wrs stream API
+// (both implement StreamSampler, so the probe workers draw their own arms
+// from a frozen per-cycle alias table):
+//
+//   - Optimistic — MWU with a gradient-prediction step (after "Beating the
+//     Multiplicative Weights Update Algorithm"): each update applies the
+//     exponential rule to twice the fresh gain minus the previous gain on
+//     the same arm, accelerating convergence when consecutive gains agree.
+//   - Congestion — constant-step-size linear MWU driven by
+//     congestion-game dynamics (internal/congestion): an arm's observed
+//     gain is discounted by how many agents picked it this cycle, so the
+//     population spreads over near-best arms instead of thundering onto
+//     one, and the plurality criterion decides convergence.
+//
+// All five sit behind the Learner interface, which mirrors the generic
 // MWU_Init / MWU_Sample / MWU_Update decomposition of the MWRepair
 // algorithm (paper Fig. 6): Sample returns the option each parallel
 // evaluator should probe this cycle, and Update consumes the rewards.
@@ -45,13 +59,15 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/wrs"
 )
 
 // Learner is one MWU realization. Implementations are not safe for
 // concurrent use; the Run driver calls Sample/Update from a single
 // goroutine and parallelizes only the probe evaluations between them.
 type Learner interface {
-	// Name identifies the realization ("standard", "slate", "distributed").
+	// Name identifies the realization ("standard", "slate", "distributed",
+	// "optimistic", "congestion").
 	Name() string
 	// K returns the number of options.
 	K() int
@@ -81,6 +97,22 @@ type Learner interface {
 	Converged() bool
 	// Metrics exposes the learner's cost accounting.
 	Metrics() *Metrics
+}
+
+// StreamSampler is the optional capability for learners built on the wrs
+// Forkable/Stream API (the "optimistic" and "congestion" realizations).
+// Instead of Sample materializing the cycle's assignment on the driver
+// goroutine, FreezeSampler freezes the learner's current distribution once
+// per cycle and the driver's probe workers draw each slot's arm themselves
+// — concurrently, with no driver-side serialization. Slot i's draw
+// consumes only slot i's stream, so the assignment (and everything
+// downstream of it) is bit-identical at any worker count, the same
+// invariance argument as the evaluator's per-slot probe streams.
+// FreezeSampler reports invalid weight states (NaN, negative, vanished
+// total) as an error; Run surfaces it in RunResult.Err and ends the run
+// instead of panicking mid-flight.
+type StreamSampler interface {
+	FreezeSampler() (wrs.Forkable, error)
 }
 
 // PartialUpdater is the optional degradation interface: a learner that
@@ -137,6 +169,12 @@ type Metrics struct {
 	CacheHits       int64
 	DedupSuppressed int64
 	ShardContention int64
+	// SamplerContention counts concurrent draws that found a shared
+	// sampler lock held — zero for the lock-free frozen-alias path, and
+	// the serialization cost made visible for mutex-guarded samplers.
+	// Filled by the Run driver from the learner's Forkable sampler when
+	// it exposes a Contention() counter.
+	SamplerContention int64
 	// WarmEntries and WarmHits mirror the runner's persistent-store
 	// warm-start accounting: cache entries preloaded from disk, and the
 	// lookups they answered — suite executions a previous run paid for.
@@ -188,6 +226,7 @@ func (m *Metrics) Export(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + ".cache_hits").Set(m.CacheHits)
 	reg.Counter(prefix + ".dedup_suppressed").Set(m.DedupSuppressed)
 	reg.Counter(prefix + ".shard_contention").Set(m.ShardContention)
+	reg.Counter(prefix + ".sampler_contention").Set(m.SamplerContention)
 	reg.Counter(prefix + ".warm_entries").Set(m.WarmEntries)
 	reg.Counter(prefix + ".warm_hits").Set(m.WarmHits)
 	reg.Gauge(prefix + ".max_congestion").Set(float64(m.MaxCongestion))
@@ -278,6 +317,10 @@ type RunResult struct {
 	// rewards went missing, cycles stalled, or the run was cancelled.
 	// Details are in the learner's Metrics.Faults ledger.
 	Degraded bool
+	// Err is set when the run ended on a learner-reported error (today:
+	// a StreamSampler whose weight state went invalid mid-run). The rest
+	// of the result is the best-so-far partial answer, as for Cancelled.
+	Err error
 }
 
 // Run drives a learner against an oracle until convergence, the iteration
@@ -312,6 +355,8 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 		auto = a.Autonomous()
 	}
 	partial, hasPartial := l.(PartialUpdater)
+	streamer, _ := l.(StreamSampler)
+	var lastSampler wrs.Forkable
 
 	if tr.Active() {
 		tr.Emit(obs.Event{Type: obs.TypeRunStart, Algo: l.Name(),
@@ -327,11 +372,33 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 		if tr.Active() {
 			tr.Emit(obs.Event{Type: obs.TypeIterStart, Iter: t})
 		}
-		arms := l.Sample()
-		if sampled {
-			emitProbes(tr, t, arms)
+		var arms []int
+		var rewards []float64
+		var status []probeStatus
+		if streamer != nil {
+			// Stream path: freeze the learner's distribution once, then
+			// let the probe workers draw their own slots' arms before
+			// probing them. emitProbes runs after the barrier here, but
+			// the event order in the stream is unchanged (probes before
+			// probe outcomes), so traces stay byte-identical at any
+			// worker count.
+			sampler, err := streamer.FreezeSampler()
+			if err != nil {
+				res.Err = fmt.Errorf("mwu: freeze sampler (iter %d): %w", t, err)
+				break
+			}
+			lastSampler = sampler
+			arms, rewards, status = ev.sampleProbeAll(t, sampler, l.Agents())
+			if sampled {
+				emitProbes(tr, t, arms)
+			}
+		} else {
+			arms = l.Sample()
+			if sampled {
+				emitProbes(tr, t, arms)
+			}
+			rewards, status = ev.probeAll(t, arms)
 		}
-		rewards, status := ev.probeAll(t, arms)
 		if tr.Active() {
 			// All emission happens here on the driver goroutine, after the
 			// probe barrier, in slot order — worker interleaving cannot
@@ -385,6 +452,9 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 	res.LeaderProb = l.LeaderProb()
 	m := l.Metrics()
 	m.Faults.Merge(ev.stats)
+	if c, ok := lastSampler.(interface{ Contention() int64 }); ok {
+		m.SamplerContention = c.Contention()
+	}
 	res.CPUIterations = m.CPUIterations
 	res.Degraded = res.Cancelled || ev.stats.Missing > 0 || ev.stats.StalledCycles > 0
 	if tr.Active() {
@@ -486,15 +556,18 @@ type evaluator struct {
 	trace bool
 	recs  []slotTrace
 
-	// Round state shared with the persistent workers. arms, rewards and
-	// status are set before jobs are dispatched and read only between
-	// wg.Add and wg.Wait, so the channel send/receive and WaitGroup edges
-	// order every access. rewards is freshly allocated per round:
-	// ownership of the returned slice passes to the caller (see
-	// Learner.Update).
+	// Round state shared with the persistent workers. arms, rewards,
+	// status and sampler are set before jobs are dispatched and read only
+	// between wg.Add and wg.Wait, so the channel send/receive and
+	// WaitGroup edges order every access. rewards is freshly allocated
+	// per round: ownership of the returned slice passes to the caller
+	// (see Learner.Update). sampler, when non-nil, is the cycle's frozen
+	// Forkable: the worker owning slot i draws arms[i] from stream i
+	// before probing it (the StreamSampler path).
 	arms    []int
 	rewards []float64
 	status  []probeStatus
+	sampler wrs.Forkable
 	iter    int
 	jobs    chan probeChunk
 	wg      sync.WaitGroup
@@ -525,6 +598,9 @@ func (e *evaluator) start() {
 		go func() {
 			for c := range jobs {
 				for i := c.lo; i < c.hi; i++ {
+					if e.sampler != nil {
+						e.arms[i] = e.sampler.Stream(i).Draw()
+					}
 					if e.status != nil {
 						e.rewards[i], e.status[i] = e.resolve(e.iter, i, e.arms[i])
 					} else {
@@ -551,6 +627,22 @@ func (e *evaluator) close() {
 // it. The status slice is nil when no injector is configured (the
 // fault-free fast path) and per-slot fault outcomes otherwise.
 func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
+	return e.round(iter, arms, nil)
+}
+
+// sampleProbeAll is probeAll for StreamSampler learners: the cycle's arms
+// are drawn from the frozen sampler's per-slot streams by the same workers
+// that probe them. Draw and probe both key off the slot index alone, so
+// the returned assignment and rewards are identical at any worker count.
+func (e *evaluator) sampleProbeAll(iter int, sampler wrs.Forkable, n int) ([]int, []float64, []probeStatus) {
+	arms := make([]int, n)
+	rewards, status := e.round(iter, arms, sampler)
+	return arms, rewards, status
+}
+
+// round runs one probe cycle over the given assignment — drawing it first
+// from sampler's per-slot streams when one is supplied.
+func (e *evaluator) round(iter int, arms []int, sampler wrs.Forkable) ([]float64, []probeStatus) {
 	n := len(arms)
 	e.ensure(n)
 	rewards := make([]float64, n)
@@ -563,11 +655,14 @@ func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
 		}
 	}
 	if e.workers == 1 || n == 1 {
-		for i, a := range arms {
+		for i := range arms {
+			if sampler != nil {
+				arms[i] = sampler.Stream(i).Draw()
+			}
 			if status != nil {
-				rewards[i], status[i] = e.resolve(iter, i, a)
+				rewards[i], status[i] = e.resolve(iter, i, arms[i])
 			} else {
-				rewards[i] = e.oracle.Probe(a, e.streams[i])
+				rewards[i] = e.oracle.Probe(arms[i], e.streams[i])
 			}
 		}
 		return rewards, status
@@ -578,6 +673,7 @@ func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
 	e.arms = arms
 	e.rewards = rewards
 	e.status = status
+	e.sampler = sampler
 	e.iter = iter
 	w := e.workers
 	if w > n {
@@ -594,6 +690,7 @@ func (e *evaluator) probeAll(iter int, arms []int) ([]float64, []probeStatus) {
 	}
 	e.wg.Wait()
 	e.status = nil
+	e.sampler = nil
 	return rewards, status
 }
 

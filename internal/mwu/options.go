@@ -14,24 +14,26 @@ import (
 // Sec. IV-B, exactly as the old factory did; the realization-specific
 // meaning of each shared knob is documented on the field.
 type Config struct {
-	// Algorithm selects the realization: "standard", "slate", or
-	// "distributed" (see Names).
+	// Algorithm selects the realization: "standard", "slate",
+	// "distributed", "optimistic", or "congestion" (see Names).
 	Algorithm string
 	// K is the number of options. Required.
 	K int
 
 	// Agents is the per-iteration parallelism: the evaluator count for
-	// Standard, the slate size n for Slate, and the population size for
-	// Distributed. 0 takes each realization's evaluation default
-	// (⌈0.05k⌉ floored at 16, ⌈γk⌉, and DefaultPopSize respectively).
+	// Standard, Optimistic and Congestion, the slate size n for Slate, and
+	// the population size for Distributed. 0 takes each realization's
+	// evaluation default (⌈0.05k⌉ floored at 16, ⌈γk⌉, and DefaultPopSize
+	// respectively).
 	Agents int
-	// Rate is the realization's learning intensity: η for Standard, γ for
-	// Slate, β for Distributed. 0 takes the evaluation default (0.05,
-	// 0.05, 0.71).
+	// Rate is the realization's learning intensity: η for Standard and
+	// Optimistic, γ for Slate, β for Distributed, ε for Congestion. 0
+	// takes the evaluation default (0.05, 0.05, 0.05, 0.71, 0.1).
 	Rate float64
 	// Convergence is the convergence threshold: leader-probability
-	// tolerance for Standard and Slate, plurality fraction for
-	// Distributed. 0 takes the default (1e-5, 1e-5, 0.30).
+	// tolerance for Standard, Slate and Optimistic, plurality fraction
+	// for Distributed and Congestion. 0 takes the default (1e-5 or 0.30
+	// respectively).
 	Convergence float64
 	// Faults is the fault injector for protocols that own their faults —
 	// today the message-passing Distributed runtime (agent crashes,
@@ -72,12 +74,7 @@ func NewLearner(cfg Config, r *rng.RNG, opts ...Option) (Learner, error) {
 	case "standard":
 		agents := cfg.Agents
 		if agents <= 0 {
-			// Evaluation default: comparable with Slate's n = ⌈0.05k⌉,
-			// floored at the paper's 16 threads.
-			agents = (cfg.K*5 + 99) / 100
-			if agents < 16 {
-				agents = 16
-			}
+			agents = defaultAgents(cfg.K)
 		}
 		eta := cfg.Rate
 		if eta <= 0 {
@@ -99,9 +96,35 @@ func NewLearner(cfg Config, r *rng.RNG, opts ...Option) (Learner, error) {
 			Plurality: cfg.Convergence,
 			Faults:    cfg.Faults,
 		}, r)
+	case "optimistic":
+		agents := cfg.Agents
+		if agents <= 0 {
+			agents = defaultAgents(cfg.K)
+		}
+		return NewOptimistic(OptimisticConfig{
+			K: cfg.K, Agents: agents, Eta: cfg.Rate, Tol: cfg.Convergence,
+		}, r), nil
+	case "congestion":
+		agents := cfg.Agents
+		if agents <= 0 {
+			agents = defaultAgents(cfg.K)
+		}
+		return NewCongestion(CongestionConfig{
+			K: cfg.K, Agents: agents, Epsilon: cfg.Rate, Plurality: cfg.Convergence,
+		}, r), nil
 	default:
 		return nil, fmt.Errorf("mwu: unknown learner %q (want one of %v)", cfg.Algorithm, Names)
 	}
+}
+
+// defaultAgents is the shared-weight-vector learners' evaluation default:
+// comparable with Slate's n = ⌈0.05k⌉, floored at the paper's 16 threads.
+func defaultAgents(k int) int {
+	agents := (k*5 + 99) / 100
+	if agents < 16 {
+		agents = 16
+	}
+	return agents
 }
 
 // MustNewLearner is NewLearner for callers with known-good configurations;

@@ -91,7 +91,7 @@ func NewStandard(cfg StandardConfig, r *rng.RNG) *Standard {
 		weights: w,
 		sum:     float64(cfg.K),
 		rng:     r,
-		fen:     wrs.NewFenwick(w),
+		fen:     mustFenwick(w),
 		// Fenwick costs n·⌈log₂ k⌉ descents per cycle against the batched
 		// pass's k-element scan; pick whichever is cheaper for this shape.
 		// The batched path is additionally bit-identical to the historical
@@ -101,6 +101,16 @@ func NewStandard(cfg StandardConfig, r *rng.RNG) *Standard {
 	}
 	s.metrics.MemoryFloats = int64(cfg.K) // the shared weight vector
 	return s
+}
+
+// mustFenwick builds the sampling index over freshly-initialized uniform
+// weights, which cannot be rejected by the checked constructor.
+func mustFenwick(w []float64) *wrs.Fenwick {
+	fen, err := wrs.NewFenwickChecked(w)
+	if err != nil {
+		panic(fmt.Sprintf("mwu: uniform init weights unsampleable: %v", err))
+	}
+	return fen
 }
 
 // log2ceil returns ⌈log₂ k⌉ for k ≥ 1.

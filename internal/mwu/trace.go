@@ -138,6 +138,8 @@ func emitState(tr *obs.Tracer, iter int, l Learner, arms []int) {
 // Converged wins over Stopped when both hold on the final cycle.
 func runEndKind(res RunResult) string {
 	switch {
+	case res.Err != nil:
+		return "error"
 	case res.Cancelled:
 		return "cancelled"
 	case res.Converged:

@@ -48,8 +48,8 @@ const (
 	// agents, and the iteration limit (in N).
 	TypeRunStart Type = "run_start"
 	// TypeRunEnd closes a run; Kind carries the end reason ("converged",
-	// "stopped", "maxiter", "cancelled", "dead"), Leader/Prob the final
-	// choice, Iter the executed cycles.
+	// "stopped", "maxiter", "cancelled", "dead", "error"), Leader/Prob the
+	// final choice, Iter the executed cycles.
 	TypeRunEnd Type = "run_end"
 	// TypeIterStart and TypeIterEnd bracket one update cycle.
 	TypeIterStart Type = "iter_start"

@@ -80,6 +80,20 @@ func (r *RNG) Split() *RNG {
 	return New(a ^ rotl(b, 32))
 }
 
+// SplitN derives n independent child generators, splitting in ascending
+// index order — the canonical way to seed a fixed-size set of per-slot
+// streams (wrs.StreamSet, the Run driver's probe streams) in one call.
+func (r *RNG) SplitN(n int) []*RNG {
+	if n < 0 {
+		panic("rng: SplitN called with negative n")
+	}
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	// 53 high bits give a uniform dyadic rational in [0,1).

@@ -62,8 +62,8 @@ type Spec struct {
 	// their profile's target).
 	PoolTarget int `json:"poolTarget,omitempty"`
 
-	// Algorithm is the MWU realization: standard | slate | distributed
-	// (default standard).
+	// Algorithm is the MWU realization — any name in mwu.Names: standard |
+	// slate | distributed | optimistic | congestion (default standard).
 	Algorithm string `json:"algorithm,omitempty"`
 	// MaxIter bounds online update cycles (default 2000, as the CLI).
 	MaxIter int `json:"maxIter,omitempty"`

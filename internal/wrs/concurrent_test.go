@@ -1,0 +1,339 @@
+package wrs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildShapes are the weight-vector shapes the construction cross-checks
+// sweep: singletons, uniform (all-heavy), zero-holes, heavy skew, random.
+func buildShapes() map[string][]float64 {
+	shapes := map[string][]float64{
+		"singleton": {3.5},
+		"pair":      {1, 2},
+		"uniform16": make([]float64, 16),
+		"random64":  testWeights(64, 7),
+		"holes1000": testWeights(1000, 11),
+		"big16384":  testWeights(16384, 13),
+		"skew":      make([]float64, 257),
+	}
+	for i := range shapes["uniform16"] {
+		shapes["uniform16"][i] = 2
+	}
+	for i := range shapes["skew"] {
+		shapes["skew"][i] = 1e-9
+	}
+	shapes["skew"][100] = 1e9
+	return shapes
+}
+
+// TestParallelBuildMatchesSequential is the construction cross-check: the
+// fanned-out build must produce the same table as the inline build, bit
+// for bit, at every worker count and shape.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	for name, w := range buildShapes() {
+		seq, err := NewAliasChecked(w)
+		if err != nil {
+			t.Fatalf("%s: sequential build: %v", name, err)
+		}
+		for _, workers := range []int{2, 3, 5, 8, 16} {
+			par, err := NewAliasParallel(w, workers)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: parallel build: %v", name, workers, err)
+			}
+			for i := range seq.prob {
+				if math.Float64bits(seq.prob[i]) != math.Float64bits(par.prob[i]) {
+					t.Fatalf("%s/workers=%d: prob[%d] = %v, sequential %v",
+						name, workers, i, par.prob[i], seq.prob[i])
+				}
+				if seq.alias[i] != par.alias[i] {
+					t.Fatalf("%s/workers=%d: alias[%d] = %d, sequential %d",
+						name, workers, i, par.alias[i], seq.alias[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAliasReloadMatchesFreshBuild checks in-place rebuilds reusing the
+// scratch buffers land on the same table as a fresh construction — across
+// both growing and shrinking vector lengths.
+func TestAliasReloadMatchesFreshBuild(t *testing.T) {
+	a, err := NewAliasChecked(testWeights(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{500, 64, 1, 1000} {
+		w := testWeights(k, uint64(k))
+		if err := a.Reload(w, 4); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		fresh, err := NewAliasChecked(w)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for i := range fresh.prob {
+			if math.Float64bits(fresh.prob[i]) != math.Float64bits(a.prob[i]) || fresh.alias[i] != a.alias[i] {
+				t.Fatalf("k=%d: reloaded column %d (%v→%d) != fresh (%v→%d)",
+					k, i, a.prob[i], a.alias[i], fresh.prob[i], fresh.alias[i])
+			}
+		}
+	}
+}
+
+// drawSequential is the single-goroutine reference: slot streams drawn in
+// slot-major order from a fresh StreamSet over the same seed.
+func drawSequential(w []float64, seed uint64, slots, draws int) [][]int {
+	set := NewStreamSet(rng.New(seed))
+	ca := NewConcurrentAlias(set, slots, 1)
+	if err := ca.Reload(w); err != nil {
+		panic(err)
+	}
+	out := make([][]int, slots)
+	for s := 0; s < slots; s++ {
+		h := ca.Stream(s)
+		out[s] = make([]int, draws)
+		for i := range out[s] {
+			out[s][i] = h.Draw()
+		}
+	}
+	return out
+}
+
+// TestConcurrentAliasDeterministicUnderRace is the -race stress test: 16
+// goroutines draw concurrently from one frozen table, and every slot's
+// sequence must equal the single-goroutine reference — same seed, same
+// per-stream draws, regardless of scheduling.
+func TestConcurrentAliasDeterministicUnderRace(t *testing.T) {
+	const slots, draws = 16, 2000
+	w := testWeights(512, 3)
+	want := drawSequential(w, 42, slots, draws)
+
+	set := NewStreamSet(rng.New(42))
+	ca := NewConcurrentAlias(set, slots, 8)
+	if err := ca.Reload(w); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int, slots)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h := ca.Stream(s)
+			seq := make([]int, draws)
+			for i := range seq {
+				seq[i] = h.Draw()
+			}
+			got[s] = seq
+		}(s)
+	}
+	wg.Wait()
+	for s := range want {
+		for i := range want[s] {
+			if got[s][i] != want[s][i] {
+				t.Fatalf("slot %d draw %d: concurrent %d != sequential %d", s, i, got[s][i], want[s][i])
+			}
+		}
+	}
+}
+
+// TestConcurrentAliasReloadPersistsStreams checks the property the MWU
+// learners lean on: reloading the table between draw phases must not
+// disturb the slot streams, so a reload-per-phase trajectory matches
+// drawing through plain Alias tables on manually split streams.
+func TestConcurrentAliasReloadPersistsStreams(t *testing.T) {
+	const slots, draws = 4, 50
+	w1, w2 := testWeights(64, 5), testWeights(64, 6)
+
+	streams := rng.New(9).SplitN(slots)
+	a1 := NewAlias(w1)
+	a2 := NewAlias(w2)
+	var want [][]int
+	for s := 0; s < slots; s++ {
+		seq := make([]int, 0, 2*draws)
+		for i := 0; i < draws; i++ {
+			seq = append(seq, a1.Draw(streams[s]))
+		}
+		want = append(want, seq)
+	}
+	for s := 0; s < slots; s++ {
+		for i := 0; i < draws; i++ {
+			want[s] = append(want[s], a2.Draw(streams[s]))
+		}
+	}
+
+	set := NewStreamSet(rng.New(9))
+	ca := NewConcurrentAlias(set, slots, 2)
+	for phase, w := range [][]float64{w1, w2} {
+		if err := ca.Reload(w); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < slots; s++ {
+			h := ca.Stream(s)
+			for i := 0; i < draws; i++ {
+				if got := h.Draw(); got != want[s][phase*draws+i] {
+					t.Fatalf("phase %d slot %d draw %d: %d != %d", phase, s, i, got, want[s][phase*draws+i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSetOrderIndependent checks a slot's stream is the same RNG no
+// matter the order slots are first requested in.
+func TestStreamSetOrderIndependent(t *testing.T) {
+	fwd := NewStreamSet(rng.New(77))
+	rev := NewStreamSet(rng.New(77))
+	var fwdFirst [8]uint64
+	for s := 0; s < 8; s++ {
+		fwdFirst[s] = fwd.Stream(s).Uint64()
+	}
+	for s := 7; s >= 0; s-- {
+		if got := rev.Stream(s).Uint64(); got != fwdFirst[s] {
+			t.Fatalf("slot %d: reverse-order stream drew %d, forward-order %d", s, got, fwdFirst[s])
+		}
+	}
+}
+
+// TestLockedFenwickMatchesFenwick checks the serialized path draws exactly
+// what a plain Fenwick draws on the same per-slot streams, and that its
+// contention counter stays zero under single-goroutine use.
+func TestLockedFenwickMatchesFenwick(t *testing.T) {
+	const slots, draws = 4, 200
+	w := testWeights(128, 8)
+	plain := NewFenwick(w)
+	streams := rng.New(21).SplitN(slots)
+
+	set := NewStreamSet(rng.New(21))
+	lf := NewLockedFenwick(set, slots)
+	if err := lf.Reload(w); err != nil {
+		t.Fatal(err)
+	}
+	if lf.Len() != 128 {
+		t.Fatalf("Len() = %d", lf.Len())
+	}
+	for s := 0; s < slots; s++ {
+		h := lf.Stream(s)
+		for i := 0; i < draws; i++ {
+			want := plain.Draw(streams[s])
+			if got := h.Draw(); got != want {
+				t.Fatalf("slot %d draw %d: %d != %d", s, i, got, want)
+			}
+		}
+	}
+	if c := lf.Contention(); c != 0 {
+		t.Fatalf("single-goroutine contention = %d, want 0", c)
+	}
+}
+
+// TestLockedFenwickConcurrentDeterministic drives all slots concurrently:
+// per-slot sequences must still match the per-slot reference (the mutex
+// serializes tree access, the streams keep slots independent).
+func TestLockedFenwickConcurrentDeterministic(t *testing.T) {
+	const slots, draws = 16, 500
+	w := testWeights(256, 10)
+	plain := NewFenwick(w)
+	streams := rng.New(31).SplitN(slots)
+	want := make([][]int, slots)
+	for s := range want {
+		want[s] = make([]int, draws)
+		for i := range want[s] {
+			want[s][i] = plain.Draw(streams[s])
+		}
+	}
+
+	set := NewStreamSet(rng.New(31))
+	lf := NewLockedFenwick(set, slots)
+	if err := lf.Reload(w); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, slots)
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h := lf.Stream(s)
+			for i := 0; i < draws; i++ {
+				if got := h.Draw(); got != want[s][i] {
+					errs <- "slot draw mismatch"
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
+
+// TestCheckedConstructorErrors covers the error paths the deprecated
+// constructors turned into panics.
+func TestCheckedConstructorErrors(t *testing.T) {
+	bad := map[string]struct {
+		w    []float64
+		want error
+	}{
+		"negative":  {[]float64{1, -1}, ErrBadWeight},
+		"nan":       {[]float64{math.NaN()}, ErrBadWeight},
+		"zero":      {[]float64{0, 0}, ErrBadTotal},
+		"infinite":  {[]float64{math.Inf(1)}, ErrBadTotal},
+		"empty":     {nil, ErrBadTotal},
+		"overflows": {[]float64{math.MaxFloat64, math.MaxFloat64}, ErrBadTotal},
+	}
+	for name, tc := range bad {
+		if _, err := NewAliasChecked(tc.w); err != tc.want {
+			t.Errorf("NewAliasChecked(%s) error = %v, want %v", name, err, tc.want)
+		}
+		if err := (&Alias{}).Reload(tc.w, 4); err != tc.want {
+			t.Errorf("Alias.Reload(%s) error = %v, want %v", name, err, tc.want)
+		}
+	}
+	// Fenwick accepts a zero total at build time (Draw panics instead),
+	// so only the per-weight validation applies.
+	for _, name := range []string{"negative", "nan"} {
+		if _, err := NewFenwickChecked(bad[name].w); err != ErrBadWeight {
+			t.Errorf("NewFenwickChecked(%s) error = %v, want ErrBadWeight", name, err)
+		}
+	}
+	if f, err := NewFenwickChecked([]float64{0, 0}); err != nil || f == nil {
+		t.Errorf("NewFenwickChecked(zero total) = %v, %v; want tree, nil", f, err)
+	}
+	f := NewFenwick([]float64{1, 2})
+	if err := f.ReloadChecked([]float64{1, -3}); err != ErrBadWeight {
+		t.Errorf("ReloadChecked(negative) error = %v, want ErrBadWeight", err)
+	}
+	if f.Weight(1) != 2 {
+		t.Errorf("failed ReloadChecked mutated the tree: w[1] = %v", f.Weight(1))
+	}
+}
+
+// TestConcurrentAliasDistribution sanity-checks the frozen-table draw
+// frequencies against the weights (zero-weight options never drawn).
+func TestConcurrentAliasDistribution(t *testing.T) {
+	w := testWeights(64, 17)
+	set := NewStreamSet(rng.New(55))
+	ca := NewConcurrentAlias(set, 4, 4)
+	if err := ca.Reload(w); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(w))
+	for s := 0; s < 4; s++ {
+		h := ca.Stream(s)
+		for i := 0; i < 50000; i++ {
+			counts[h.Draw()]++
+		}
+	}
+	chiSquared(t, counts, w, 4*50000)
+	for i, wi := range w {
+		if wi == 0 && counts[i] != 0 {
+			t.Fatalf("zero-weight option %d drawn %d times", i, counts[i])
+		}
+	}
+}

@@ -35,26 +35,59 @@ type Fenwick struct {
 // NewFenwick builds a sampler over a copy of w. It panics if any weight is
 // negative or NaN. A zero-length or all-zero vector is accepted at build
 // time; Draw panics until the total weight is positive.
+//
+// Deprecated: use NewFenwickChecked, which reports invalid weights as an
+// error instead of panicking mid-run.
 func NewFenwick(w []float64) *Fenwick {
-	f := &Fenwick{}
-	f.Reload(w)
+	f, err := NewFenwickChecked(w)
+	if err != nil {
+		panicWeightErr(err)
+	}
 	return f
+}
+
+// NewFenwickChecked builds a sampler over a copy of w, returning an error
+// if any weight is negative or NaN. A zero-length or all-zero vector is
+// accepted at build time; Draw panics until the total weight is positive.
+func NewFenwickChecked(w []float64) (*Fenwick, error) {
+	f := &Fenwick{}
+	if err := f.ReloadChecked(w); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// checkWeights validates a weight vector for the checked constructors.
+func checkWeights(w []float64) error {
+	for _, wi := range w {
+		if wi < 0 || math.IsNaN(wi) {
+			return ErrBadWeight
+		}
+	}
+	return nil
 }
 
 // Reload rebuilds the tree exactly from w in O(k), discarding any drift
 // accumulated by incremental updates. The tree storage is reused when the
-// length is unchanged.
+// length is unchanged. It panics on negative or NaN weights; see
+// ReloadChecked for the error-returning form.
 func (f *Fenwick) Reload(w []float64) {
+	if err := f.ReloadChecked(w); err != nil {
+		panicWeightErr(err)
+	}
+}
+
+// ReloadChecked is Reload returning an error for negative or NaN weights
+// instead of panicking; on error the tree is left unchanged.
+func (f *Fenwick) ReloadChecked(w []float64) error {
+	if err := checkWeights(w); err != nil {
+		return err
+	}
 	f.n = len(w)
 	if cap(f.tree) >= f.n+1 {
 		f.tree = f.tree[:f.n+1]
 	} else {
 		f.tree = make([]float64, f.n+1)
-	}
-	for _, wi := range w {
-		if wi < 0 || math.IsNaN(wi) {
-			panic("wrs: Fenwick requires non-negative weights")
-		}
 	}
 	copy(f.tree[1:], w)
 	// In-place O(k) build: push each node's sum into its parent range.
@@ -67,6 +100,7 @@ func (f *Fenwick) Reload(w []float64) {
 	for f.mask<<1 <= f.n {
 		f.mask <<= 1
 	}
+	return nil
 }
 
 // Len returns the number of options.

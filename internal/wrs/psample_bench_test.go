@@ -1,0 +1,67 @@
+package wrs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkParallelSample is the PR-9 concurrent-sampling trio frozen into
+// BENCH_PR9.json: 8 worker slots drawing from one k=16384 distribution
+// through the serialized LockedFenwick baseline vs the lock-free frozen
+// ConcurrentAlias, plus the parallel table build itself. ns/op is wall
+// time over all b.N draws, so the locked/lock-free ratio is the aggregate
+// draw-throughput speedup `benchjson -validate` gates at ≥4x.
+func BenchmarkParallelSample(b *testing.B) {
+	const k, streams = 16384, 8
+	w := testWeights(k, 99)
+
+	drawAll := func(b *testing.B, f Forkable) {
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N / streams
+		for s := 0; s < streams; s++ {
+			n := per
+			if s == 0 {
+				n += b.N % streams
+			}
+			wg.Add(1)
+			go func(s, n int) {
+				defer wg.Done()
+				h := f.Stream(s)
+				sink := 0
+				for i := 0; i < n; i++ {
+					sink += h.Draw()
+				}
+				_ = sink
+			}(s, n)
+		}
+		wg.Wait()
+	}
+
+	b.Run("fenwick-locked/k=16384/streams=8", func(b *testing.B) {
+		lf := NewLockedFenwick(NewStreamSet(rng.New(1)), streams)
+		if err := lf.Reload(w); err != nil {
+			b.Fatal(err)
+		}
+		drawAll(b, lf)
+		b.ReportMetric(float64(lf.Contention()), "contended/total")
+	})
+	b.Run("alias/k=16384/streams=8", func(b *testing.B) {
+		ca := NewConcurrentAlias(NewStreamSet(rng.New(1)), streams, streams)
+		if err := ca.Reload(w); err != nil {
+			b.Fatal(err)
+		}
+		drawAll(b, ca)
+	})
+	b.Run("alias-build/k=16384/workers=8", func(b *testing.B) {
+		ca := NewConcurrentAlias(NewStreamSet(rng.New(1)), streams, streams)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ca.Reload(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

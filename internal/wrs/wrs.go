@@ -15,10 +15,10 @@
 //     prefix-sum descent, O(log k) point update. The right tool for a
 //     distribution that mutates between draws (Standard's shared weight
 //     vector, updated every cycle).
-//   - Alias — Vose's alias table: O(k) build, O(1) draw. The right tool
-//     for a distribution that is static across many draws (a baseline's
-//     fault-localization weights, a decomposition's component
-//     coefficients).
+//   - Alias — an alias table: O(k) build (parallelizable, see
+//     NewAliasParallel), O(1) draw. The right tool for a distribution that
+//     is static across many draws (a baseline's fault-localization
+//     weights, a learner's weights frozen for one probe cycle).
 //   - Batcher — a batched categorical draw serving m draws in one
 //     O(k + m log m) pass by merging the m sorted uniforms against the
 //     running cumulative weights. Its draws are bit-identical to m
@@ -29,17 +29,39 @@
 // contain no internal randomness or goroutines, so results under a fixed
 // rng.RNG seed are reproducible at any worker count — the same stream
 // discipline the Run driver's per-slot probe streams follow.
+//
+// For concurrent drawing, the package adds the forkable/stream layer (see
+// Forkable, Stream, StreamSet): a sampler frozen for one phase hands each
+// worker slot a Stream whose draws consume the slot's own deterministic
+// RNG, so any number of slots may draw in parallel — lock-free against a
+// frozen Alias (ConcurrentAlias), serialized behind a mutex for the
+// mutable Fenwick baseline (LockedFenwick) — while each slot's draw
+// sequence stays a pure function of (seed, slot), independent of
+// scheduling and worker count.
 package wrs
 
 import (
+	"errors"
 	"math"
 
 	"repro/internal/rng"
 )
 
+// ErrBadWeight reports a negative or NaN weight.
+var ErrBadWeight = errors.New("wrs: weights must be non-negative and not NaN")
+
+// ErrBadTotal reports a total weight that is not positive and finite.
+var ErrBadTotal = errors.New("wrs: total weight must be positive and finite")
+
 // Sampler is a weighted sampler over a fixed number of options: Draw
 // returns an option index distributed proportionally to the sampler's
 // weights, consuming exactly one variate from r.
+//
+// Deprecated: the caller-supplied-RNG contract serializes concurrent
+// callers on driver-side locking. New code should draw through the
+// Forkable/Stream API, which binds a deterministic RNG stream to each
+// worker slot instead; Alias and Fenwick still satisfy Sampler for the
+// remaining single-goroutine call sites.
 type Sampler interface {
 	// Len returns the number of options k.
 	Len() int
@@ -53,4 +75,13 @@ func validateTotal(total float64) {
 	if !(total > 0) || math.IsInf(total, 1) {
 		panic("wrs: sampler requires positive finite total weight")
 	}
+}
+
+// panicWeightErr converts a checked-constructor error into the panic the
+// deprecated panicking constructors are documented (and tested) to raise.
+func panicWeightErr(err error) {
+	if errors.Is(err, ErrBadTotal) {
+		panic("wrs: sampler requires positive finite total weight")
+	}
+	panic("wrs: sampler requires non-negative weights")
 }
