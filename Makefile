@@ -8,6 +8,7 @@
 #   make daemon-smoke mwrepaird process-level smoke: job over HTTP, CLI byte-identity, SIGTERM drain
 #   make store       persistent-store gate: corruption recovery + warm-start determinism under -race, write-behind overhead bound
 #   make psample     concurrent-sampling gate: stream/alias determinism under -race + BENCH_PR9.json trio + 4x draw-throughput check
+#   make scenarios   scenario-family gate: multi-hunk/drifting/adversarial calibration + drift determinism under -race + E12 JSON schema check
 #   make bench-psample regenerate BENCH_PR9.json (BenchmarkParallelSample trio at -benchtime 1s)
 #   make servebench  service-level smoke: repairbench closed-loop sweep vs an in-process daemon + BENCH_SERVE schema gate
 #   make servebench-full the full sweep, frozen into $(SERVE_OUT) (BENCH_SERVE.json)
@@ -31,9 +32,9 @@ SAMPLING_BENCH = BenchmarkSample|BenchmarkSampleUpdateCycle|BenchmarkWRS|Benchma
 # Where `make servebench-full` writes the committed service-level record.
 SERVE_OUT ?= BENCH_SERVE.json
 
-.PHONY: ci vet build test race chaos trace daemon-smoke store psample bench-psample servebench servebench-full bench bench-smoke bench-probe bench-all
+.PHONY: ci vet build test race chaos trace daemon-smoke store psample scenarios bench-psample servebench servebench-full bench bench-smoke bench-probe bench-all
 
-ci: vet build race bench-smoke chaos trace daemon-smoke store psample servebench
+ci: vet build race bench-smoke chaos trace daemon-smoke store psample scenarios servebench
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +92,18 @@ psample:
 	$(GO) test -race -run 'ParallelBuild|ConcurrentAlias|StreamSet|LockedFenwick|AliasReload|TraceByteIdentical|StreamRun|StreamLearners|StreamSample' \
 		./internal/wrs ./internal/mwu
 	$(GO) run ./cmd/benchjson -validate BENCH_PR9.json
+
+# Scenario-family gate: the multi-hunk/drifting/adversarial calibration
+# and validation suites (proper-subset proofs, drift-schedule invariants,
+# stale-fingerprint purge, congestion-cost invariance, the byte-identical
+# drifting-trace check across worker counts) under the race detector,
+# then a one-seed E12 run whose -json export must pass the coverage
+# schema check (all three families, all five learners, drift applied).
+scenarios:
+	$(GO) test -race -run 'Family|MultiHunk|Drift|Adversarial|SetSuite|ProperSubset|SubsetRepairable|FromSourceReject|StaleFingerprint|CongestionCost|Families' \
+		./internal/scenario ./internal/testsuite ./internal/core ./internal/mwu ./internal/baseline ./internal/experiments
+	$(GO) run ./cmd/experiments -families -seeds 1 -maxiter 400 -json /tmp/e12-smoke.json >/dev/null
+	$(GO) run ./cmd/benchjson -validate-families /tmp/e12-smoke.json
 
 # Regenerates the committed BENCH_PR9.json: the BenchmarkParallelSample
 # trio (mutex-guarded Fenwick vs lock-free frozen alias at k=16384 with 8

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/mwu"
 	"repro/internal/obs"
 )
 
@@ -97,6 +98,83 @@ func validateResilience(path string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %s: %d resilience cells, schema ok\n", path, len(cells))
+	return nil
+}
+
+// validateFamilies decodes an `experiments -families -json` export and
+// checks both the schema and the experiment's coverage promises: every
+// cell ran, all three non-paper scenario families appear, every MWU
+// realization appears, at least one drifting cell actually applied a
+// drift step (a schedule that never fires is a silently broken
+// fixture), and every adversarial cell carries a congestion bill.
+func validateFamilies(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var raw []map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		return fmt.Errorf("%s: not a JSON array of objects: %w", path, err)
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("%s: empty cell array", path)
+	}
+	required := []string{
+		"profile", "family", "algorithm", "runs", "repairedRuns",
+		"iterationsMean", "probesMean", "fitnessEvalsMean",
+		"driftStepsMean", "congestionCostMean", "maxLoad",
+	}
+	for i, c := range raw {
+		for _, key := range required {
+			if _, ok := c[key]; !ok {
+				return fmt.Errorf("%s: cell %d missing key %q", path, i, key)
+			}
+		}
+	}
+	var cells []struct {
+		Profile        string  `json:"profile"`
+		Family         string  `json:"family"`
+		Algorithm      string  `json:"algorithm"`
+		Runs           int     `json:"runs"`
+		ProbesMean     float64 `json:"probesMean"`
+		DriftStepsMean float64 `json:"driftStepsMean"`
+		CongestionMean float64 `json:"congestionCostMean"`
+	}
+	if err := json.Unmarshal(buf, &cells); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	families := map[string]bool{}
+	algorithms := map[string]bool{}
+	var driftApplied float64
+	for _, c := range cells {
+		if c.Runs <= 0 {
+			return fmt.Errorf("%s: cell %s/%s has no runs", path, c.Profile, c.Algorithm)
+		}
+		families[c.Family] = true
+		algorithms[c.Algorithm] = true
+		if c.Family == "drifting" {
+			driftApplied += c.DriftStepsMean
+		}
+		if c.Family == "adversarial" && c.CongestionMean < c.ProbesMean {
+			return fmt.Errorf("%s: adversarial cell %s/%s: congestion cost %.0f below probe count %.0f",
+				path, c.Profile, c.Algorithm, c.CongestionMean, c.ProbesMean)
+		}
+	}
+	for _, fam := range []string{"multi-hunk", "drifting", "adversarial"} {
+		if !families[fam] {
+			return fmt.Errorf("%s: family %q missing from the export", path, fam)
+		}
+	}
+	for _, alg := range mwu.Names {
+		if !algorithms[alg] {
+			return fmt.Errorf("%s: algorithm %q missing from the export", path, alg)
+		}
+	}
+	if driftApplied == 0 {
+		return fmt.Errorf("%s: no drifting cell applied a drift step", path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %d family cells (%d families, %d algorithms), schema ok\n",
+		path, len(cells), len(families), len(algorithms))
 	return nil
 }
 
@@ -296,7 +374,16 @@ func main() {
 	traceFile := flag.String("validate-trace", "", "validate a -trace JSONL event stream instead of converting benchmarks")
 	serveFile := flag.String("validate-serve", "", "validate a repairbench BENCH_SERVE.json report instead of converting benchmarks")
 	psampleFile := flag.String("validate", "", "validate a committed BENCH_PR9.json concurrent-sampling record instead of converting benchmarks")
+	familiesFile := flag.String("validate-families", "", "validate an `experiments -families -json` export instead of converting benchmarks")
 	flag.Parse()
+
+	if *familiesFile != "" {
+		if err := validateFamilies(*familiesFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *psampleFile != "" {
 		if err := validatePsample(*psampleFile); err != nil {

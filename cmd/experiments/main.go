@@ -8,6 +8,7 @@
 //	experiments -costmodel            # Sec. IV-E/F cost model demo
 //	experiments -apr                  # Sec. IV-G APR comparison
 //	experiments -resilience           # E11: fault injection & degradation
+//	experiments -families             # E12: multi-hunk, drifting, adversarial families
 //	experiments -all                  # everything
 //
 // Common options:
@@ -69,6 +70,8 @@ func main() {
 		corpus     = flag.Int("corpus", 0, "run MWRepair on N randomly generated scenarios (Sec. VI corpus study)")
 		resilience = flag.Bool("resilience", false, "run E11: convergence under injected faults (raw vs managed policies)")
 		faultRates = flag.String("faultrates", "", "comma-separated fault rates for -resilience (default 0,0.02,0.05,0.1,0.2)")
+		families   = flag.Bool("families", false, "run E12: multi-hunk, drifting, and adversarial scenario families")
+		profiles   = flag.String("profiles", "", "comma-separated scenario profiles for -families (default mh-pair,drift-grow,adv-mild)")
 	)
 	obsFlags := cliutil.RegisterObsFlags()
 	flag.Parse()
@@ -78,7 +81,7 @@ func main() {
 	cliutil.Positive("experiments", "trials", *trials)
 	obsFlags.Validate("experiments")
 
-	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0 || *resilience) {
+	if !(*tables || *table1 || *figures || *costmodel || *apr || *all || *sweep != "" || *corpus > 0 || *resilience || *families) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -196,6 +199,23 @@ func main() {
 		fmt.Println(experiments.RenderResilience(spec, cells))
 		if *jsonOut != "" && !*tables && !*all {
 			writeFile(*jsonOut, func(f *os.File) error { return experiments.WriteResilienceJSON(f, cells) })
+		}
+	}
+	if *all || *families {
+		spec := experiments.FamiliesSpec{
+			Profiles:   split(*profiles),
+			Algorithms: split(*algorithms),
+			Seeds:      *seeds,
+			MaxIter:    *maxIter,
+		}
+		cells, err := experiments.RunFamilies(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderFamilies(spec, cells))
+		if *jsonOut != "" && !*tables && !*all {
+			writeFile(*jsonOut, func(f *os.File) error { return experiments.WriteFamiliesJSON(f, cells) })
 		}
 	}
 }

@@ -71,7 +71,14 @@ func main() {
 
 	if *list {
 		for _, p := range scenario.Registry {
-			fmt.Printf("%-20s options=%-5d blocks=%d\n", p.Name, p.Options, p.Blocks)
+			extra := ""
+			if p.DriftSteps > 0 {
+				extra = fmt.Sprintf("  drift=%dx%d/%s", p.DriftSteps, p.DriftInterval, p.DriftKind)
+			}
+			if p.CongestionLambda > 0 {
+				extra += fmt.Sprintf("  lambda=%g", p.CongestionLambda)
+			}
+			fmt.Printf("%-20s family=%-12s options=%-5d blocks=%d%s\n", p.Name, p.FamilyName(), p.Options, p.Blocks, extra)
 		}
 		return
 	}
@@ -177,13 +184,19 @@ func main() {
 	}
 
 	cfg := core.Config{
-		MaxIter:         *maxIter,
-		Workers:         *workers,
-		MaxX:            prof.Options,
-		StragglerCutoff: *cutoff,
-		Trace:           tracer,
-		Registry:        reg,
-		Store:           st,
+		MaxIter:          *maxIter,
+		Workers:          *workers,
+		MaxX:             prof.Options,
+		StragglerCutoff:  *cutoff,
+		Trace:            tracer,
+		Registry:         reg,
+		Store:            st,
+		Drift:            sc.Drift,
+		CongestionLambda: prof.CongestionLambda,
+	}
+	if sc.Drift.Len() > 0 {
+		fmt.Printf("  drift schedule: %d steps (%s), first at %d probes\n",
+			sc.Drift.Len(), prof.DriftKind, sc.Drift.Steps[0].AfterProbes)
 	}
 	if *faultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(*seed, *faultRate))
@@ -202,6 +215,15 @@ func main() {
 	if res.Faults.Any() {
 		fmt.Printf("  faults: %s (degraded: %v)\n", res.Faults.String(), res.Degraded)
 	}
+	familyStats := func() {
+		if res.DriftSteps > 0 {
+			fmt.Printf("  drift: %d suite change(s) applied mid-run\n", res.DriftSteps)
+		}
+		if res.CongestionCost > 0 {
+			fmt.Printf("  congestion: total probe cost %.0f (lambda=%g), max arm load %d\n",
+				res.CongestionCost, prof.CongestionLambda, res.MaxLoad)
+		}
+	}
 	if !res.Repaired {
 		state := "NO repair found"
 		if res.Cancelled {
@@ -211,6 +233,7 @@ func main() {
 			state, res.Iterations, res.Probes, res.FitnessEvals, elapsed)
 		fmt.Printf("  cache: %d hits (%d dedup-suppressed), %d contended shard locks\n",
 			res.CacheHits, res.DedupSuppressed, res.ShardContention)
+		familyStats()
 		closeStore()
 		obsCleanup() // os.Exit skips defers; flush the trace first
 		os.Exit(1)
@@ -222,6 +245,7 @@ func main() {
 	if res.WarmEntries > 0 {
 		fmt.Printf("  store: %d entries warm-started, %d warm hits\n", res.WarmEntries, res.WarmHits)
 	}
+	familyStats()
 	fmt.Printf("  learned composition size x* = %d\n", res.LearnedArm)
 	fmt.Printf("  patch (%d mutations):\n", len(res.Patch))
 	for _, m := range res.Patch {

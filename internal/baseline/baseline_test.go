@@ -23,8 +23,8 @@ func TestFaultLocalization(t *testing.T) {
 	pr := NewProblem(sc.Program, sc.Suite)
 	// The defect statement runs only under the bug-inducing input, so it
 	// must carry the maximum weight 1.0.
-	if pr.weights[sc.DefectStmt()] != 1.0 {
-		t.Fatalf("defect weight = %v, want 1.0", pr.weights[sc.DefectStmt()])
+	if pr.weights[sc.DefectStmts[0]] != 1.0 {
+		t.Fatalf("defect weight = %v, want 1.0", pr.weights[sc.DefectStmts[0]])
 	}
 	// Statements covered by both get 0.1.
 	saw01 := false
@@ -48,7 +48,7 @@ func TestRandomMutationPrefersSuspicious(t *testing.T) {
 	hits := 0
 	const trials = 2000
 	for i := 0; i < trials; i++ {
-		if pr.randomMutation(r).At == sc.DefectStmt() {
+		if pr.randomMutation(r).At == sc.DefectStmts[0] {
 			hits++
 		}
 	}
@@ -115,8 +115,8 @@ func TestAEDeduplicationEconomy(t *testing.T) {
 	sc := smallScenario(t, 10)
 	pr := NewProblem(sc.Program, sc.Suite)
 	before := pr.Runner().Evals()
-	pr.evaluate([]mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
-	pr.evaluate([]mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
+	pr.evaluate([]mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmts[0]}})
+	pr.evaluate([]mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmts[0]}})
 	if got := pr.Runner().Evals() - before; got != 1 {
 		t.Fatalf("identical mutants cost %d evals, want 1", got)
 	}
@@ -149,5 +149,32 @@ func TestGenProgDeterministicUnderSeed(t *testing.T) {
 	a, b := run(), run()
 	if a.Repaired != b.Repaired || a.CandidatesTried != b.CandidatesTried || a.Generations != b.Generations {
 		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMultiHunkLocalizationCoversAllSites(t *testing.T) {
+	// Multi-hunk scenarios seed several defect sites; coverage-based
+	// localization must flag every one at maximum suspicion, not just
+	// DefectStmts[0] — the single-site assumption this PR's audit
+	// removed.
+	sc := scenario.Generate(scenario.Profile{
+		Name: "baseline-mh", Blocks: 16, Redundancy: 1.8, Options: 30,
+		PositiveTests: 5, DefectEdits: 3, Seed: 21,
+	})
+	if len(sc.DefectStmts) != 3 {
+		t.Fatalf("defect sites = %v", sc.DefectStmts)
+	}
+	pr := NewProblem(sc.Program, sc.Suite)
+	targets := map[int]bool{}
+	for _, s := range pr.Targets() {
+		targets[s] = true
+	}
+	for _, d := range sc.DefectStmts {
+		if pr.weights[d] != 1.0 {
+			t.Fatalf("defect %d weight = %v, want 1.0", d, pr.weights[d])
+		}
+		if !targets[d] {
+			t.Fatalf("defect %d not among localization targets", d)
+		}
 	}
 }

@@ -109,6 +109,24 @@ type Config struct {
 	// which lookups pay for a suite execution, never what the search
 	// does: the patch and trace stay byte-identical to a cold run.
 	Store *store.Store
+	// Drift, when non-nil, makes the repair problem non-stationary: each
+	// step replaces the runner's suite (purging every cached verdict and
+	// re-warm-starting under the new suite's fingerprint — see
+	// testsuite.Runner.SetSuite) once the run's cumulative probe count
+	// reaches the step's threshold. Steps are applied on the driver
+	// goroutine at update-cycle boundaries from worker-invariant probe
+	// counts, so drifting runs — and their traces, which record each step
+	// as a "drift" event — stay byte-identical at any Workers count.
+	// Generated drifting scenarios carry their schedule in
+	// scenario.Scenario.Drift.
+	Drift *testsuite.Drift
+	// CongestionLambda, when positive, turns on adversarial cost
+	// accounting in the online loop: every probe is charged
+	// 1 + λ·(load−1) cost units where load is the number of agents that
+	// chose the same arm that cycle (threaded through to
+	// mwu.RunConfig.CongestionLambda; purely observational). Adversarial
+	// scenario profiles carry λ in Profile.CongestionLambda.
+	CongestionLambda float64
 }
 
 // Progress is the mid-run status snapshot delivered to Config.OnProgress:
@@ -191,6 +209,15 @@ type Result struct {
 	// run paid for.
 	WarmEntries int64
 	WarmHits    int64
+	// DriftSteps is the number of suite-drift steps applied during the
+	// run (zero for stationary problems). A repair reported alongside
+	// drift is a repair for the suite in force when it was captured.
+	DriftSteps int
+	// CongestionCost is the congestion-priced total probe cost and
+	// MaxLoad the highest realized single-arm load, filled when
+	// Config.CongestionLambda is set.
+	CongestionCost float64
+	MaxLoad        int64
 }
 
 // repairOracle adapts (pool, suite) to the bandit.Oracle interface. Arm i
@@ -283,14 +310,21 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 	}
 	oracle := &repairOracle{pl: pl, runner: runner, k: k, policy: cfg.Reward, scale: cfg.ThroughputScale}
 
+	var driftSteps []testsuite.DriftStep
+	if cfg.Drift != nil {
+		driftSteps = cfg.Drift.Steps
+	}
+	nextDrift := 0
+
 	tr := cfg.Trace
 	runRes := mwu.Run(ctx, learner, oracle, seed, mwu.RunConfig{
-		MaxIter:         cfg.MaxIter,
-		Workers:         cfg.Workers,
-		Faults:          cfg.Faults,
-		Policies:        cfg.Policies,
-		StragglerCutoff: cfg.StragglerCutoff,
-		Trace:           tr,
+		MaxIter:          cfg.MaxIter,
+		Workers:          cfg.Workers,
+		Faults:           cfg.Faults,
+		Policies:         cfg.Policies,
+		StragglerCutoff:  cfg.StragglerCutoff,
+		CongestionLambda: cfg.CongestionLambda,
+		Trace:            tr,
 		OnIteration: func(iter int, l mwu.Learner) bool {
 			if tr.Sampled(iter) {
 				// The callback runs on the driver goroutine between probe
@@ -304,6 +338,24 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 				tr.Emit(obs.Event{Type: obs.TypeCache, Iter: iter, N: runner.Lookups()})
 			}
 			patch, _ := oracle.repair()
+			if patch == nil && nextDrift < len(driftSteps) {
+				// Apply due drift steps at the cycle boundary, where no
+				// probe is in flight. Cumulative probe counts are worker-
+				// invariant, so the firing cycle — and the trace position of
+				// the drift event, which is emitted on every firing, sampled
+				// or not — is too. A repair captured this cycle wins the
+				// race by design: it was a real repair for the suite its
+				// probe ran against.
+				probes := l.Metrics().Probes
+				for nextDrift < len(driftSteps) && probes >= driftSteps[nextDrift].AfterProbes {
+					step := driftSteps[nextDrift]
+					runner.SetSuite(step.Suite)
+					if tr.Active() {
+						tr.Emit(obs.Event{Type: obs.TypeDrift, Iter: iter, Kind: step.Kind, N: step.AfterProbes})
+					}
+					nextDrift++
+				}
+			}
 			if cfg.OnProgress != nil {
 				m := l.Metrics()
 				cfg.OnProgress(Progress{
@@ -331,6 +383,8 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 	m.ShardContention = runner.ShardContention()
 	m.WarmEntries = runner.WarmEntries()
 	m.WarmHits = runner.WarmHits()
+	m.CongestionCost = runRes.CongestionCost
+	m.MaxLoad = runRes.MaxLoad
 	if cfg.Registry != nil {
 		m.Export(cfg.Registry, "mwu")
 		cfg.Registry.Counter("cache.warm_entries").Set(runner.WarmEntries())
@@ -353,6 +407,9 @@ func Repair(ctx context.Context, pl *pool.Pool, suite *testsuite.Suite, learner 
 		Faults:          m.Faults,
 		WarmEntries:     m.WarmEntries,
 		WarmHits:        m.WarmHits,
+		DriftSteps:      nextDrift,
+		CongestionCost:  runRes.CongestionCost,
+		MaxLoad:         runRes.MaxLoad,
 	}
 	return res
 }

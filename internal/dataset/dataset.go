@@ -97,8 +97,15 @@ func initSpecs() {
 			return dist.Unimodal(name, sz, dist.RandomUnimodalParams(rng.New(seed)))
 		}})
 	}
-	// Empirical: derived from the scenario registry.
+	// Empirical: derived from the paper rows of the scenario registry.
+	// The post-paper family rows (multi-hunk, drifting, adversarial) are
+	// repair workloads for E12, not Table II–IV value distributions —
+	// admitting them here would silently grow the paper's 20-dataset
+	// catalog.
 	for _, prof := range scenario.Registry {
+		if prof.FamilyName() != scenario.FamilyPaper {
+			continue
+		}
 		kind := KindC
 		for _, jn := range scenario.JavaNames {
 			if prof.Name == jn {

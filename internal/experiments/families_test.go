@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/mwu"
+	"repro/internal/scenario"
+)
+
+// e12Spec is the shared small-but-real E12 configuration: one profile
+// per family, one seed, enough cycles for drift-grow's first two drift
+// thresholds (300 and 600 probes) to be reachable even by the
+// two-agent Slate configuration.
+func e12Spec() FamiliesSpec {
+	return FamiliesSpec{
+		Profiles: []string{"mh-pair", "drift-grow", "adv-mild"},
+		Seeds:    1,
+		MaxIter:  400,
+		Workers:  4,
+	}
+}
+
+func TestRunFamiliesCoversEveryFamilyAndAlgorithm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E12 smoke is not -short sized")
+	}
+	spec := e12Spec()
+	cells, err := RunFamilies(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(spec.Profiles) * len(mwu.Names); len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	families := map[string]bool{}
+	algorithms := map[string]bool{}
+	var driftApplied float64
+	for i := range cells {
+		c := &cells[i]
+		families[c.Family] = true
+		algorithms[c.Algorithm] = true
+		if c.Runs != spec.Seeds {
+			t.Fatalf("%s/%s: %d runs, want %d", c.Profile, c.Algorithm, c.Runs, spec.Seeds)
+		}
+		if c.Probes.Mean() <= 0 {
+			t.Fatalf("%s/%s: no probes issued", c.Profile, c.Algorithm)
+		}
+		switch c.Family {
+		case scenario.FamilyAdversarial:
+			// λ > 0 prices every probe at >= 1, so cost is bounded below
+			// by the probe count.
+			if c.CongestionCost.Mean() < c.Probes.Mean() {
+				t.Fatalf("%s/%s: congestion cost %.0f below probe count %.0f",
+					c.Profile, c.Algorithm, c.CongestionCost.Mean(), c.Probes.Mean())
+			}
+		default:
+			if c.CongestionCost.Mean() != 0 || c.MaxLoad != 0 {
+				t.Fatalf("%s/%s: stationary-cost family accounted congestion", c.Profile, c.Algorithm)
+			}
+		}
+		if c.Family == scenario.FamilyDrifting {
+			driftApplied += c.DriftSteps.Mean()
+		} else if c.DriftSteps.Mean() != 0 {
+			t.Fatalf("%s/%s: non-drifting family applied drift steps", c.Profile, c.Algorithm)
+		}
+	}
+	for _, fam := range []string{scenario.FamilyMultiHunk, scenario.FamilyDrifting, scenario.FamilyAdversarial} {
+		if !families[fam] {
+			t.Fatalf("family %q missing from cells", fam)
+		}
+	}
+	for _, alg := range mwu.Names {
+		if !algorithms[alg] {
+			t.Fatalf("algorithm %q missing from cells", alg)
+		}
+	}
+	if driftApplied == 0 {
+		t.Fatal("no drifting cell applied a drift step")
+	}
+
+	out := RenderFamilies(spec, cells)
+	for _, want := range []string{"E12", "mh-pair (multi-hunk)", "drift-grow (drifting)", "adv-mild (adversarial)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFamiliesJSON(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(cells) {
+		t.Fatalf("JSON has %d cells, want %d", len(decoded), len(cells))
+	}
+	for _, key := range []string{
+		"profile", "family", "algorithm", "runs", "repairedRuns",
+		"iterationsMean", "probesMean", "fitnessEvalsMean",
+		"driftStepsMean", "congestionCostMean", "maxLoad",
+	} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Fatalf("JSON cell missing key %q", key)
+		}
+	}
+}
+
+func TestRunFamiliesRejectsUnknownProfile(t *testing.T) {
+	if _, err := RunFamilies(FamiliesSpec{Profiles: []string{"no-such-profile"}, Seeds: 1, MaxIter: 10}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

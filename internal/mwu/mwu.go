@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bandit"
+	"repro/internal/congestion"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -181,6 +182,14 @@ type Metrics struct {
 	// Zero when no store is attached.
 	WarmEntries int64
 	WarmHits    int64
+	// CongestionCost and MaxLoad are the adversarial-scenario cost
+	// accounting, filled by the Run driver when RunConfig.CongestionLambda
+	// is set: total probe cost where a probe on an arm chosen by `load`
+	// agents in the same cycle costs 1 + λ·(load−1) (the linear latency
+	// model in internal/congestion), and the highest realized single-arm
+	// load over the run. Zero under classic unit-cost accounting.
+	CongestionCost float64
+	MaxLoad        int64
 	// Faults is the resilience ledger: faults injected into this run and
 	// what the Timeout/Retry/Hedge policies made of them. All zero when no
 	// injector is configured.
@@ -204,6 +213,9 @@ func (m *Metrics) String() string {
 	}
 	if m.WarmEntries > 0 {
 		s += fmt.Sprintf(" warm(entries=%d hits=%d)", m.WarmEntries, m.WarmHits)
+	}
+	if m.CongestionCost > 0 {
+		s += fmt.Sprintf(" congestion-cost=%.1f max-load=%d", m.CongestionCost, m.MaxLoad)
 	}
 	if m.Faults.Any() {
 		s += " " + m.Faults.String()
@@ -231,6 +243,8 @@ func (m *Metrics) Export(reg *obs.Registry, prefix string) {
 	reg.Counter(prefix + ".warm_hits").Set(m.WarmHits)
 	reg.Gauge(prefix + ".max_congestion").Set(float64(m.MaxCongestion))
 	reg.Gauge(prefix + ".mean_congestion").Set(m.MeanCongestion())
+	reg.Gauge(prefix + ".congestion_cost").Set(m.CongestionCost)
+	reg.Gauge(prefix + ".max_load").Set(float64(m.MaxLoad))
 	reg.Gauge(prefix + ".memory_floats").Set(float64(m.MemoryFloats))
 	f := m.Faults
 	reg.Counter(prefix + ".faults.injected").Set(f.Injected)
@@ -284,6 +298,17 @@ type RunConfig struct {
 	// 0 waits for stragglers indefinitely.
 	StragglerCutoff int
 
+	// CongestionLambda, when positive, turns on adversarial cost
+	// accounting: each cycle the driver tallies the realized per-arm
+	// loads and charges every probe 1 + CongestionLambda*(load-1) cost
+	// units (internal/congestion's linear latency model — probing an arm
+	// nobody else chose costs 1, herding all agents onto one arm costs
+	// ~λ·agents each). The accounting is observational: it never changes
+	// sampling, rewards, or updates, so traces are unchanged and
+	// byte-identical to a λ=0 run. Totals land in RunResult and the
+	// driver-filled Metrics fields.
+	CongestionLambda float64
+
 	// Trace, when active, receives the run's iteration-level event stream
 	// (see internal/obs). All events are emitted from the driver goroutine
 	// after the probe barrier, in slot order, and carry only virtual ticks
@@ -321,6 +346,13 @@ type RunResult struct {
 	// a StreamSampler whose weight state went invalid mid-run). The rest
 	// of the result is the best-so-far partial answer, as for Cancelled.
 	Err error
+	// CongestionCost is the total congestion-priced probe cost and
+	// MaxLoad the highest realized single-arm load, filled when
+	// RunConfig.CongestionLambda is set (see its doc). Stalled cycles are
+	// included: their probes were issued and paid for even though no
+	// update happened.
+	CongestionCost float64
+	MaxLoad        int64
 }
 
 // Run drives a learner against an oracle until convergence, the iteration
@@ -363,6 +395,7 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 			K: l.K(), Agents: l.Agents(), N: int64(cfg.MaxIter)})
 	}
 	res := RunResult{}
+	var loads []int // congestion-accounting scratch, allocated on demand
 	for t := 1; t <= cfg.MaxIter; t++ {
 		if ctx.Err() != nil {
 			res.Cancelled = true
@@ -398,6 +431,22 @@ func Run(ctx context.Context, l Learner, o bandit.Oracle, seed *rng.RNG, cfg Run
 				emitProbes(tr, t, arms)
 			}
 			rewards, status = ev.probeAll(t, arms)
+		}
+		if cfg.CongestionLambda > 0 {
+			// Cost accounting happens before the stall check: a stalled
+			// cycle's probes were issued and paid the congestion price even
+			// though the learner could not update on them. Loads depend
+			// only on the cycle's arms, which are worker-count invariant,
+			// so the totals are too.
+			if loads == nil {
+				loads = make([]int, l.K())
+			}
+			if ml := int64(congestion.LoadsInto(loads, arms)); ml > res.MaxLoad {
+				res.MaxLoad = ml
+			}
+			for _, a := range arms {
+				res.CongestionCost += 1 + cfg.CongestionLambda*float64(loads[a]-1)
+			}
 		}
 		if tr.Active() {
 			// All emission happens here on the driver goroutine, after the

@@ -84,6 +84,15 @@ const (
 	// exported through the Registry, never through the deterministic
 	// event stream.
 	TypeCache Type = "cache"
+	// TypeDrift marks one suite-drift step applied at an update-cycle
+	// boundary: Kind names the change ("tests-added", "fault-moved",
+	// "reweighted"), N the probe-count threshold that armed it, Iter the
+	// cycle it fired on. Drift steps fire on the driver goroutine from
+	// worker-invariant probe counts, so the event — like every other —
+	// lands at the same point of the stream at any worker count. Emitted
+	// on every firing, sampled or not: a drift step changes what every
+	// subsequent evaluation means, so the stream must record it.
+	TypeDrift Type = "drift"
 	// TypeConv is the per-iteration convergence check: Leader, Prob, and
 	// Kind ("converged" once the criterion holds).
 	TypeConv Type = "conv"
@@ -110,8 +119,8 @@ const (
 var KnownTypes = []Type{
 	TypeRunStart, TypeRunEnd, TypeIterStart, TypeIterEnd,
 	TypeProbe, TypeProbeDone, TypeUpdate, TypeFault, TypeRecover,
-	TypeStall, TypeCache, TypeConv, TypeState, TypeCrash, TypeRestart,
-	TypePoolBatch, TypeGeneration,
+	TypeStall, TypeCache, TypeDrift, TypeConv, TypeState, TypeCrash,
+	TypeRestart, TypePoolBatch, TypeGeneration,
 }
 
 // Event is one trace record. The struct is flat and fixed so

@@ -34,12 +34,44 @@ var Registry = []Profile{
 	{Name: "Closure22", Blocks: 64, Redundancy: 1.7, Options: 100, PositiveTests: 8, DefectEdits: 3, Seed: 0x7A003},
 	{Name: "Math8", Blocks: 44, Redundancy: 2.8, Options: 100, PositiveTests: 8, Seed: 0x7A004},
 	{Name: "Math80", Blocks: 52, Redundancy: 2.1, Options: 100, PositiveTests: 8, Kind: DefectWrongCode, Twins: 3, Seed: 0x7A005},
+
+	// Multi-hunk family: the repair needs coordinated edits at 2–4 defect
+	// sites; validate() proves no proper subset of the canonical
+	// repairers passes the suite. The wrong-code variants are the hardest
+	// shape — every site needs the exact twin replacement, deletion never
+	// repairs. Stresses Slate's slate-size choice (it must keep several
+	// composition counts live long enough to cover all sites).
+	{Name: "mh-pair", Family: FamilyMultiHunk, Blocks: 48, Redundancy: 1.8, Options: 100, PositiveTests: 8, DefectEdits: 2, Kind: DefectWrongCode, Twins: 2, Seed: 0x3B001},
+	{Name: "mh-triple", Family: FamilyMultiHunk, Blocks: 72, Redundancy: 2.0, Options: 200, PositiveTests: 8, DefectEdits: 3, Seed: 0x3B002},
+	{Name: "mh-quad", Family: FamilyMultiHunk, Blocks: 96, Redundancy: 2.0, Options: 500, PositiveTests: 10, DefectEdits: 4, Seed: 0x3B003},
+
+	// Drifting family: the suite changes mid-run on a deterministic
+	// probe-count schedule (Scenario.Drift). Tests MWU's adversarial
+	// regret guarantee online — rewards observed before a drift step were
+	// earned against a suite that no longer exists. The three-site
+	// defects behind single-digit composition caps keep the repair
+	// density near zero, so the search actually lives through the
+	// schedule instead of repairing before the first step fires.
+	{Name: "drift-grow", Family: FamilyDrifting, Blocks: 40, Redundancy: 1.8, Options: 8, PositiveTests: 6, DefectEdits: 3, DriftSteps: 3, DriftInterval: 300, DriftKind: "tests-added", Seed: 0x3D001},
+	{Name: "drift-movingfault", Family: FamilyDrifting, Blocks: 48, Redundancy: 1.8, Options: 8, PositiveTests: 6, DefectEdits: 3, DriftSteps: 3, DriftInterval: 300, DriftKind: "fault-moved", Seed: 0x3D002},
+	{Name: "drift-mixed", Family: FamilyDrifting, Blocks: 56, Redundancy: 2.0, Options: 10, PositiveTests: 8, DefectEdits: 3, DriftSteps: 4, DriftInterval: 250, DriftKind: "mixed", Seed: 0x3D003},
+
+	// Adversarial/congestion family: per-probe cost scales with realized
+	// arm load (1 + λ·(load−1) via internal/congestion's linear latency
+	// model), so herding every worker onto the leader arm is expensive —
+	// the regime the constant-step congestion learner is built for.
+	{Name: "adv-mild", Family: FamilyAdversarial, Blocks: 40, Redundancy: 1.8, Options: 100, PositiveTests: 6, CongestionLambda: 0.25, Seed: 0x3E001},
+	{Name: "adv-rush", Family: FamilyAdversarial, Blocks: 56, Redundancy: 2.0, Options: 200, PositiveTests: 8, CongestionLambda: 1.0, Kind: DefectWrongCode, Twins: 2, Seed: 0x3E002},
 }
 
-// CNames and JavaNames partition the registry as in the paper's tables.
+// CNames and JavaNames partition the paper's registry rows as in its
+// tables; the family name lists cover the post-paper scenario families.
 var (
-	CNames    = []string{"units", "gzip-2009-08-16", "gzip-2009-09-26", "libtiff-2005-12-14", "lighttpd-1806-1807"}
-	JavaNames = []string{"Chart26", "Closure13", "Closure22", "Math8", "Math80"}
+	CNames           = []string{"units", "gzip-2009-08-16", "gzip-2009-09-26", "libtiff-2005-12-14", "lighttpd-1806-1807"}
+	JavaNames        = []string{"Chart26", "Closure13", "Closure22", "Math8", "Math80"}
+	MultiHunkNames   = []string{"mh-pair", "mh-triple", "mh-quad"}
+	DriftingNames    = []string{"drift-grow", "drift-movingfault", "drift-mixed"}
+	AdversarialNames = []string{"adv-mild", "adv-rush"}
 )
 
 // ByName returns the registry profile with the given name.

@@ -76,8 +76,50 @@ type Profile struct {
 	// Twins is the number of correct twin statements planted per
 	// wrong-code defect (ignored for DefectDelete). Default 3.
 	Twins int
+	// Family labels the scenario family for listings and reports:
+	// "paper" (the default; stationary single- or multi-edit profiles
+	// matching the paper's benchmarks), "multi-hunk" (repair requires
+	// coordinated edits at 2–4 sites), "drifting" (the suite changes
+	// mid-run on a deterministic schedule), "adversarial" (probe cost
+	// scales with realized arm congestion). Empty means "paper".
+	Family string
+	// DriftSteps is the number of scheduled suite changes for drifting
+	// scenarios; 0 (the default) keeps the suite stationary.
+	DriftSteps int
+	// DriftInterval is the cumulative-probe spacing between drift steps:
+	// step s arms once the run has issued s*DriftInterval probes. Probe
+	// counts are worker-invariant, so the schedule is too. Default 400
+	// when DriftSteps > 0.
+	DriftInterval int64
+	// DriftKind selects the per-step suite change: one of
+	// testsuite.DriftTestsAdded, DriftFaultMoved, DriftReweighted, or
+	// "mixed" (the default) to cycle through all three.
+	DriftKind string
+	// CongestionLambda prices probe cost by realized arm load for
+	// adversarial/congestion scenarios: a probe on an arm chosen by load
+	// agents this cycle costs 1 + CongestionLambda*(load-1) cost units
+	// (internal/congestion's linear latency model). 0 (the default)
+	// keeps the classic unit-cost accounting.
+	CongestionLambda float64
 	// Seed drives all generation randomness.
 	Seed uint64
+}
+
+// Scenario family names, as carried in Profile.Family.
+const (
+	FamilyPaper       = "paper"
+	FamilyMultiHunk   = "multi-hunk"
+	FamilyDrifting    = "drifting"
+	FamilyAdversarial = "adversarial"
+)
+
+// FamilyName returns the profile's family label, defaulting to
+// FamilyPaper for profiles that predate families.
+func (p Profile) FamilyName() string {
+	if p.Family == "" {
+		return FamilyPaper
+	}
+	return p.Family
 }
 
 // DefectKind selects the seeded defect flavour.
@@ -133,6 +175,14 @@ func (p *Profile) fill() {
 	if p.Twins <= 0 {
 		p.Twins = 3
 	}
+	if p.DriftSteps > 0 {
+		if p.DriftInterval <= 0 {
+			p.DriftInterval = 400
+		}
+		if p.DriftKind == "" {
+			p.DriftKind = "mixed"
+		}
+	}
 }
 
 // Scenario is one generated repair problem.
@@ -157,10 +207,19 @@ type Scenario struct {
 	// defect (delete kind) or replacing every defect with its first twin
 	// (wrong-code kind). Applying all of them yields a full repair.
 	Repairers []mutation.Mutation
+	// Drift is the deterministic suite-drift schedule for drifting
+	// scenarios (nil for stationary ones). Every phase suite is
+	// materialized and validated at generation time: the defective
+	// program stays safe and failing, and the canonical repairers repair
+	// every phase.
+	Drift *testsuite.Drift
 }
 
-// DefectStmt returns the first seeded defect's statement index (the only
-// one for single-edit scenarios).
+// DefectStmt returns the first seeded defect's statement index.
+//
+// Deprecated: a scenario may seed defects at several sites (multi-hunk
+// profiles set DefectEdits 2–4), and looking only at the first silently
+// drops the rest. Use DefectStmts and handle every site.
 func (sc *Scenario) DefectStmt() int { return sc.DefectStmts[0] }
 
 // modulus keeps accumulator arithmetic in range; prime, as in Adler-32.
@@ -169,6 +228,13 @@ const modulus = 65521
 // bugThreshold guards the defect: inputs with n >= bugThreshold execute
 // the defective statement.
 const bugThreshold = 1000
+
+// maxSubsetDefects bounds exhaustive proper-subset validation: up to this
+// many defect sites, validate() proves no proper repairer subset repairs
+// by checking all 2^m - 2 of them (≤ 62 suite evaluations). Registry
+// profiles stay at or below 4 sites; the constant leaves headroom for
+// custom profiles without letting validation go exponential.
+const maxSubsetDefects = 6
 
 // testMaxSteps bounds each test execution. Generated programs finish in
 // well under this; mutants with accidental infinite loops fail fast.
@@ -232,6 +298,13 @@ func generateOnce(pr Profile, seed uint64) (*Scenario, error) {
 	}
 	if err := sc.validate(); err != nil {
 		return nil, err
+	}
+	if pr.DriftSteps > 0 {
+		d, err := buildDrift(sc, pr, r)
+		if err != nil {
+			return nil, err
+		}
+		sc.Drift = d
 	}
 	return sc, nil
 }
@@ -383,27 +456,123 @@ func (b *progBuilder) String() string {
 // outputs taken from the correct reference program.
 func buildSuite(correct *lang.Program, pr Profile, r *rng.RNG) *testsuite.Suite {
 	s := &testsuite.Suite{}
-	mkTest := func(name string, n, m int64) testsuite.Test {
-		res := lang.Run(correct, lang.Options{Input: []int64{n, m}})
-		if res.Err != nil {
-			panic(fmt.Sprintf("scenario: reference program failed: %v", res.Err))
-		}
-		return testsuite.Test{
-			Name:     name,
-			Input:    []int64{n, m},
-			Want:     res.Output,
-			MaxSteps: testMaxSteps,
-		}
-	}
 	for i := 0; i < pr.PositiveTests; i++ {
 		n := int64(r.Intn(bugThreshold))
 		m := int64(r.Intn(1000))
-		s.Positive = append(s.Positive, mkTest(fmt.Sprintf("pos%d", i), n, m))
+		s.Positive = append(s.Positive, makeTest(correct, fmt.Sprintf("pos%d", i), n, m))
 	}
 	n := int64(bugThreshold + r.Intn(1000))
 	m := int64(r.Intn(1000))
-	s.Negative = append(s.Negative, mkTest("bug", n, m))
+	s.Negative = append(s.Negative, makeTest(correct, "bug", n, m))
 	return s
+}
+
+// makeTest runs the reference program on (n, m) and records its output as
+// the expected result.
+func makeTest(correct *lang.Program, name string, n, m int64) testsuite.Test {
+	res := lang.Run(correct, lang.Options{Input: []int64{n, m}})
+	if res.Err != nil {
+		panic(fmt.Sprintf("scenario: reference program failed: %v", res.Err))
+	}
+	return testsuite.Test{
+		Name:     name,
+		Input:    []int64{n, m},
+		Want:     res.Output,
+		MaxSteps: testMaxSteps,
+	}
+}
+
+// cloneSuite copies a suite's test slices so a drift phase can extend
+// them without aliasing the previous phase. Test values are copied
+// shallowly; Input/Want slices are never mutated after construction.
+func cloneSuite(s *testsuite.Suite) *testsuite.Suite {
+	return &testsuite.Suite{
+		Positive: append([]testsuite.Test(nil), s.Positive...),
+		Negative: append([]testsuite.Test(nil), s.Negative...),
+	}
+}
+
+// buildDrift materializes the drift schedule for a drifting scenario:
+// DriftSteps cumulative phase suites, each derived from the previous by
+// one change of the profile's DriftKind ("mixed" cycles tests-added →
+// fault-moved → reweighted). Every phase is validated against the same
+// invariants buildSuite establishes for phase 0 — the defective program
+// stays safe and fails every negative test, the reference program and the
+// canonical repairers repair — so a repair found in any phase is a real
+// repair for that phase's suite. All randomness comes from the generation
+// RNG, making the schedule a pure function of Profile.Seed.
+func buildDrift(sc *Scenario, pr Profile, r *rng.RNG) (*testsuite.Drift, error) {
+	kinds := []string{testsuite.DriftTestsAdded, testsuite.DriftFaultMoved, testsuite.DriftReweighted}
+	switch pr.DriftKind {
+	case "mixed":
+		// keep the cycle
+	case testsuite.DriftTestsAdded, testsuite.DriftFaultMoved, testsuite.DriftReweighted:
+		kinds = []string{pr.DriftKind}
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown drift kind %q", pr.Name, pr.DriftKind)
+	}
+	repaired := mutation.Apply(sc.Program, sc.Repairers)
+	cur := sc.Suite
+	steps := make([]testsuite.DriftStep, 0, pr.DriftSteps)
+	for s := 0; s < pr.DriftSteps; s++ {
+		kind := kinds[s%len(kinds)]
+		next := cloneSuite(cur)
+		switch kind {
+		case testsuite.DriftTestsAdded:
+			// A fresh regression test on a below-threshold input: the
+			// defect region never executes there, so the defective program
+			// passes it by construction.
+			n := int64(r.Intn(bugThreshold))
+			m := int64(r.Intn(1000))
+			next.Positive = append(next.Positive, makeTest(sc.Correct, fmt.Sprintf("drift%d", s+1), n, m))
+		case testsuite.DriftReweighted:
+			// Duplicate one positive test under a new name: its weight in
+			// the pass count doubles and the fingerprint changes, but no
+			// program's behaviour does.
+			t := next.Positive[r.Intn(len(next.Positive))]
+			t.Name = fmt.Sprintf("%s-rw%d", t.Name, s+1)
+			next.Positive = append(next.Positive, t)
+		case testsuite.DriftFaultMoved:
+			// The same defect manifests on a new bug-inducing input.
+			// Rarely the corruption cancels modulo the accumulator
+			// arithmetic on a particular input; redraw until the defective
+			// program demonstrably fails it.
+			moved := false
+			for try := 0; try < 50 && !moved; try++ {
+				n := int64(bugThreshold + r.Intn(1000))
+				m := int64(r.Intn(1000))
+				t := makeTest(sc.Correct, fmt.Sprintf("bug-mv%d", s+1), n, m)
+				if !testsuite.RunTest(sc.Program, t) {
+					next.Negative = []testsuite.Test{t}
+					moved = true
+				}
+			}
+			if !moved {
+				return nil, fmt.Errorf("scenario %s: no failing moved-fault input found for drift step %d", pr.Name, s+1)
+			}
+		}
+		runner := testsuite.NewRunner(next)
+		f := runner.Eval(context.Background(), sc.Program)
+		if !f.Safe() {
+			return nil, fmt.Errorf("scenario %s: defective program fails positives in drift phase %d (%v)", pr.Name, s+1, f)
+		}
+		if f.NegPassed != 0 {
+			return nil, fmt.Errorf("scenario %s: defective program passes the bug test in drift phase %d", pr.Name, s+1)
+		}
+		if !runner.Eval(context.Background(), sc.Correct).Repair() {
+			return nil, fmt.Errorf("scenario %s: reference program does not repair drift phase %d", pr.Name, s+1)
+		}
+		if !runner.Eval(context.Background(), repaired).Repair() {
+			return nil, fmt.Errorf("scenario %s: canonical repairers do not repair drift phase %d", pr.Name, s+1)
+		}
+		steps = append(steps, testsuite.DriftStep{
+			AfterProbes: int64(s+1) * pr.DriftInterval,
+			Suite:       next,
+			Kind:        kind,
+		})
+		cur = next
+	}
+	return &testsuite.Drift{Steps: steps}, nil
 }
 
 // validate checks the scenario's construction invariants: the defective
@@ -432,13 +601,48 @@ func (sc *Scenario) validate() error {
 	if !runner.Eval(context.Background(), mutation.Apply(sc.Program, sc.Repairers)).Repair() {
 		return fmt.Errorf("scenario %s: canonical repairers do not repair", sc.Profile.Name)
 	}
-	if len(sc.Repairers) > 1 {
-		// No strict subset may repair (multi-edit defects are genuinely
-		// multi-edit).
-		for i := range sc.Repairers {
-			subset := append(append([]mutation.Mutation(nil), sc.Repairers[:i]...), sc.Repairers[i+1:]...)
+	if m := len(sc.Repairers); m > 1 {
+		// No proper subset may repair: multi-hunk defects are genuinely
+		// multi-hunk, every seeded site needs its edit. For m defects up
+		// to maxSubsetDefects this is proved exhaustively over all
+		// 2^m - 2 nonempty proper subsets (the empty subset is the
+		// defective program, already shown to fail above) — at the
+		// registry's cap of 4 defect sites that is 14 extra suite
+		// evaluations per generation attempt, a bounded cost. Beyond the
+		// cap, exhaustive enumeration would be exponential, so validation
+		// falls back to the 2m most informative subsets: leave-one-out
+		// (the maximal proper subsets — if any subset repaired, some
+		// leave-one-out superset of it would too, because adding canonical
+		// repairers never un-repairs in this construction) and each
+		// singleton.
+		subset := make([]mutation.Mutation, 0, m)
+		check := func(mask uint) error {
+			subset = subset[:0]
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					subset = append(subset, sc.Repairers[i])
+				}
+			}
 			if runner.Eval(context.Background(), mutation.Apply(sc.Program, subset)).Repair() {
-				return fmt.Errorf("scenario %s: repairer subset without #%d still repairs", sc.Profile.Name, i)
+				return fmt.Errorf("scenario %s: proper repairer subset %0*b already repairs", sc.Profile.Name, m, mask)
+			}
+			return nil
+		}
+		if m <= maxSubsetDefects {
+			for mask := uint(1); mask < 1<<m-1; mask++ {
+				if err := check(mask); err != nil {
+					return err
+				}
+			}
+		} else {
+			full := uint(1)<<m - 1
+			for i := 0; i < m; i++ {
+				if err := check(full &^ (1 << i)); err != nil {
+					return err
+				}
+				if err := check(1 << i); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -522,10 +726,18 @@ func (sc *Scenario) BuildPoolStored(ctx context.Context, workers int, seed *rng.
 //
 // poolTarget sets Profile.PoolTarget (0 takes DefaultSourcePoolTarget);
 // options sets Profile.Options, the cap on composition size (0 means "no
-// cap beyond the pool size").
+// cap beyond the pool size"). Negative values for either are rejected:
+// the daemon promises admission-time validation with a 4xx, not a job
+// that runs with silently adjusted parameters.
 func FromSource(name, src string, suite *testsuite.Suite, poolTarget, options int) (*Scenario, error) {
 	if name == "" {
 		name = "custom"
+	}
+	if poolTarget < 0 {
+		return nil, fmt.Errorf("scenario %s: poolTarget %d is negative (0 selects the default of %d)", name, poolTarget, DefaultSourcePoolTarget)
+	}
+	if options < 0 {
+		return nil, fmt.Errorf("scenario %s: options %d is negative (0 means uncapped)", name, options)
 	}
 	prog, err := lang.Parse(src)
 	if err != nil {

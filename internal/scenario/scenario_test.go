@@ -60,23 +60,32 @@ func TestGenerateDifferentSeedsDiffer(t *testing.T) {
 
 func TestDefectRepairableByDeletion(t *testing.T) {
 	sc := Generate(small(3))
-	fix := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
+	var dels []mutation.Mutation
+	for _, d := range sc.DefectStmts {
+		dels = append(dels, mutation.Mutation{Op: mutation.Delete, At: d})
+	}
+	fix := mutation.Apply(sc.Program, dels)
 	if !testsuite.NewRunner(sc.Suite).Eval(context.Background(), fix).Repair() {
-		t.Fatal("deleting defect statement does not repair")
+		t.Fatal("deleting defect statements does not repair")
 	}
 }
 
 func TestDefectLineCovered(t *testing.T) {
 	sc := Generate(small(4))
 	cov := testsuite.Coverage(sc.Program, sc.Suite)
-	if !cov[sc.DefectStmt()] {
-		t.Fatal("defect statement not covered by suite")
+	for _, d := range sc.DefectStmts {
+		if !cov[d] {
+			t.Fatalf("defect statement %d not covered by suite", d)
+		}
 	}
-	// But positive tests alone must NOT cover it (the defect is guarded).
+	// But positive tests alone must NOT cover any site (defects are
+	// guarded).
 	posOnly := &testsuite.Suite{Positive: sc.Suite.Positive}
 	cov = testsuite.Coverage(sc.Program, posOnly)
-	if cov[sc.DefectStmt()] {
-		t.Fatal("defect executes under regression inputs; guard broken")
+	for _, d := range sc.DefectStmts {
+		if cov[d] {
+			t.Fatalf("defect %d executes under regression inputs; guard broken", d)
+		}
 	}
 }
 
@@ -85,17 +94,21 @@ func TestProgramAndReferenceDifferOnlyAtDefect(t *testing.T) {
 	if sc.Program.Len() != sc.Correct.Len() {
 		t.Fatal("program lengths differ")
 	}
+	sites := map[int]bool{}
+	for _, d := range sc.DefectStmts {
+		sites[d] = true
+	}
 	diffs := 0
 	for i := range sc.Program.Stmts {
 		if sc.Program.Stmts[i].String() != sc.Correct.Stmts[i].String() {
 			diffs++
-			if i != sc.DefectStmt() {
+			if !sites[i] {
 				t.Fatalf("unexpected difference at stmt %d", i)
 			}
 		}
 	}
-	if diffs != 1 {
-		t.Fatalf("programs differ in %d statements, want 1", diffs)
+	if diffs != len(sc.DefectStmts) {
+		t.Fatalf("programs differ in %d statements, want %d", diffs, len(sc.DefectStmts))
 	}
 }
 
@@ -323,7 +336,7 @@ func TestWrongCodeRepairers(t *testing.T) {
 func TestWrongCodeDeleteDoesNotRepair(t *testing.T) {
 	sc := Generate(wrongCode(32))
 	runner := testsuite.NewRunner(sc.Suite)
-	del := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmt()}})
+	del := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Delete, At: sc.DefectStmts[0]}})
 	if runner.Eval(context.Background(), del).Repair() {
 		t.Fatal("deleting a wrong-code defect must not repair")
 	}
@@ -331,7 +344,7 @@ func TestWrongCodeDeleteDoesNotRepair(t *testing.T) {
 
 func TestWrongCodeTwinsAreExactCopiesOfCorrectForm(t *testing.T) {
 	sc := Generate(wrongCode(33))
-	correctStmt := sc.Correct.Stmts[sc.DefectStmt()].String()
+	correctStmt := sc.Correct.Stmts[sc.DefectStmts[0]].String()
 	if len(sc.TwinStmts[0]) != 3 {
 		t.Fatalf("twins = %v", sc.TwinStmts)
 	}
@@ -346,7 +359,7 @@ func TestWrongCodeAnyTwinRepairs(t *testing.T) {
 	sc := Generate(wrongCode(34))
 	runner := testsuite.NewRunner(sc.Suite)
 	for _, tw := range sc.TwinStmts[0] {
-		fix := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Replace, At: sc.DefectStmt(), From: tw}})
+		fix := mutation.Apply(sc.Program, []mutation.Mutation{{Op: mutation.Replace, At: sc.DefectStmts[0], From: tw}})
 		if !runner.Eval(context.Background(), fix).Repair() {
 			t.Fatalf("replacement with twin %d does not repair", tw)
 		}

@@ -212,6 +212,7 @@ func handlePatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 // scenarioInfo is one GET /v1/scenarios entry.
 type scenarioInfo struct {
 	Name    string `json:"name"`
+	Family  string `json:"family"`
 	Options int    `json:"options"`
 	Blocks  int    `json:"blocks"`
 }
@@ -219,7 +220,7 @@ type scenarioInfo struct {
 func handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	out := make([]scenarioInfo, 0, len(scenario.Registry))
 	for _, p := range scenario.Registry {
-		out = append(out, scenarioInfo{Name: p.Name, Options: p.Options, Blocks: p.Blocks})
+		out = append(out, scenarioInfo{Name: p.Name, Family: p.FamilyName(), Options: p.Options, Blocks: p.Blocks})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

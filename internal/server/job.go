@@ -267,6 +267,11 @@ type Result struct {
 	PoolStoreHits int64 `json:"poolStoreHits,omitempty"`
 	WarmEntries   int64 `json:"warmEntries,omitempty"`
 	WarmHits      int64 `json:"warmHits,omitempty"`
+	// Scenario-family extras (zero for paper-family subjects): drift
+	// steps applied mid-run and the congestion-priced probe cost.
+	DriftSteps     int     `json:"driftSteps,omitempty"`
+	CongestionCost float64 `json:"congestionCost,omitempty"`
+	MaxLoad        int64   `json:"maxLoad,omitempty"`
 }
 
 // Status is the GET /v1/jobs/{id} response body.

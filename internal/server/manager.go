@@ -183,10 +183,10 @@ func NewManager(cfg Config) *Manager {
 		cancelledJobs: cfg.Registry.Counter("server.jobs.cancelled"),
 		queueDepth:    cfg.Registry.Gauge("server.queue.depth"),
 		runningGauge:  cfg.Registry.Gauge("server.jobs.running"),
-		latency: cfg.Registry.Histogram("server.job.latency_ms", latencyBoundsMs),
+		latency:       cfg.Registry.Histogram("server.job.latency_ms", latencyBoundsMs),
 		queueWait: cfg.Registry.Histogram("server.job.queue_wait_ms",
 			latencyBoundsMs),
-		e2eLatency: cfg.Registry.Histogram("server.job.e2e_ms", latencyBoundsMs),
+		e2eLatency:  cfg.Registry.Histogram("server.job.e2e_ms", latencyBoundsMs),
 		storeHits:   cfg.Registry.Counter("pool.store_hits"),
 		warmEntries: cfg.Registry.Counter("cache.warm_entries"),
 	}
@@ -603,13 +603,15 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 	}
 
 	cfg := core.Config{
-		MaxIter:         spec.MaxIter,
-		Workers:         spec.Workers,
-		MaxX:            prof.Options,
-		StragglerCutoff: spec.Cutoff,
-		Trace:           tracer,
-		OnProgress:      j.setProgress,
-		Store:           m.cfg.Store,
+		MaxIter:          spec.MaxIter,
+		Workers:          spec.Workers,
+		MaxX:             prof.Options,
+		StragglerCutoff:  spec.Cutoff,
+		Trace:            tracer,
+		OnProgress:       j.setProgress,
+		Store:            m.cfg.Store,
+		Drift:            sc.Drift,
+		CongestionLambda: prof.CongestionLambda,
 	}
 	if spec.FaultRate > 0 {
 		cfg.Faults = faults.New(faults.Uniform(spec.Seed, spec.FaultRate))
@@ -653,6 +655,9 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 		PoolStoreHits:   st.StoreHits,
 		WarmEntries:     res.WarmEntries,
 		WarmHits:        res.WarmHits,
+		DriftSteps:      res.DriftSteps,
+		CongestionCost:  res.CongestionCost,
+		MaxLoad:         res.MaxLoad,
 	}
 	if m.cfg.Store != nil {
 		// Accumulate cross-job persistence wins and refresh the store
